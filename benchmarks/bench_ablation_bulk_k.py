@@ -1,0 +1,51 @@
+"""Ablation B (sections 4, 8.1.1): bulk-size amortization.
+
+Sweeps the bulk size k from per-batch (k=1, the Quiver/DGL regime) to the
+whole epoch, measuring per-epoch sampling time on the Graph Replicated
+algorithm.
+
+Shape: sampling time falls monotonically with k and saturates once the
+per-call overheads are fully amortized — the paper's explanation for why
+its 4-GPU Products/Protein numbers (where memory capped k) trail its
+large-GPU numbers (k = all).
+"""
+
+from __future__ import annotations
+
+from repro.bench import format_table
+from repro.bench.harness import run_pipeline_epoch
+
+K_SWEEP = (1, 2, 4, 16, 64)
+P = 4
+
+
+def test_ablation_bulk_k(benchmark, record_result, bench_graphs):
+    wl, g = bench_graphs("products")
+
+    def run():
+        rows = []
+        for k in K_SWEEP:
+            stats, c, _ = run_pipeline_epoch(g, wl, p=P, c=1, k=k)
+            rows.append(
+                {
+                    "k": k,
+                    "sampling_s": stats.sampling,
+                    "total_s": stats.total,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_result(
+        "ablation_bulk_k",
+        format_table(
+            rows,
+            title=f"Ablation B - per-epoch sampling time vs bulk size k (p={P})",
+        ),
+    )
+
+    times = [r["sampling_s"] for r in rows]
+    # Monotone non-increasing in k...
+    assert all(a >= b * 0.99 for a, b in zip(times, times[1:]))
+    # ...with a substantial win from per-batch to full-epoch bulks.
+    assert times[0] / times[-1] > 2.0

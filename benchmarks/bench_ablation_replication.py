@@ -1,0 +1,47 @@
+"""Ablation C (section 6.2): feature-fetch time vs replication factor c.
+
+Fixes p and sweeps c, isolating the all-to-allv feature fetch.  The paper's
+claim: "our feature fetching time scales with the replication factor c" —
+larger c means smaller process columns (fewer peers, less NIC contention)
+and a larger locally-held feature fraction.
+"""
+
+from __future__ import annotations
+
+from repro.bench import format_table
+from repro.bench.harness import run_pipeline_epoch
+
+P = 16
+C_SWEEP = (1, 2, 4, 8)
+
+
+def test_ablation_replication(benchmark, record_result, bench_graphs):
+    wl, g = bench_graphs("papers")
+
+    def run():
+        rows = []
+        for c in C_SWEEP:
+            stats, _, _ = run_pipeline_epoch(g, wl, p=P, c=c)
+            rows.append(
+                {
+                    "c": c,
+                    "fetch_s": stats.feature_fetch,
+                    "total_s": stats.total,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_result(
+        "ablation_replication",
+        format_table(
+            rows,
+            title=f"Ablation C - feature-fetch time vs c (papers-sim, p={P})",
+        ),
+    )
+
+    fetch = {r["c"]: r["fetch_s"] for r in rows}
+    # Strictly improving while contention/peer count shrink.
+    assert fetch[8] < fetch[4] < fetch[2] < fetch[1]
+    # The c=1 -> c=8 gap is the Figure 6 story at one p.
+    assert fetch[1] / fetch[8] > 2.0

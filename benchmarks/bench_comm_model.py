@@ -1,0 +1,95 @@
+"""Section 5.2.1: the closed-form communication model vs the simulator.
+
+The paper derives ``T_prob = alpha(p/c^2 + log c) + beta(kbd/c + ckbd/p)``
+for generating probability distributions.  The ``kbd/c`` row-data term is a
+*worst case*: it assumes every one of the ``kb`` stacked rows pulls its own
+``d`` adjacency nonzeros.  The sparsity-aware implementation deduplicates
+requested rows, so when the bulk frontier revisits vertices (small graphs,
+layer-wise samplers) the measured row-data volume sits well below the bound
+and the all-reduce term ``ckbd/p`` — which grows with c — dominates.
+
+This benchmark records both effects:
+
+* measured probability-phase volume never exceeds the model's total
+  (the bound is sound);
+* the measured volume tracks the all-reduce term's growth with c once
+  dedup collapses the row-data term — the refinement the simulator adds
+  over the closed form.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench import format_table
+from repro.comm import Communicator, ProcessGrid
+from repro.core import LadiesSampler
+from repro.distributed import (
+    ProbCostInputs,
+    partitioned_bulk_sampling,
+    predict_prob_costs,
+)
+from repro.graphs import erdos_renyi
+from repro.partition import BlockRows
+
+P = 16
+K, B = 16, 32
+N, DEG = 4096, 16
+
+
+def test_comm_model(benchmark, record_result):
+    rng = np.random.default_rng(3)
+    adj = erdos_renyi(N, DEG, rng)
+    d = adj.nnz / N
+    batches = [rng.choice(N, B, replace=False) for _ in range(K)]
+
+    def run():
+        rows = []
+        for c in (1, 2, 4):
+            comm = Communicator(P)
+            grid = ProcessGrid(P, c)
+            blocks = BlockRows.partition(adj, grid.n_rows)
+            partitioned_bulk_sampling(
+                comm, grid, LadiesSampler(), blocks, batches, (B,), seed=0
+            )
+            pred = predict_prob_costs(ProbCostInputs(p=P, c=c, k=K, b=B, d=d))
+            measured = comm.ledger.received("probability") / P
+            bound = pred.rowdata_bytes_per_rank + pred.allreduce_bytes_per_rank
+            rows.append(
+                {
+                    "c": c,
+                    "measured_bytes_per_rank": int(measured),
+                    "model_rowdata(kbd/c)": int(pred.rowdata_bytes_per_rank),
+                    "model_allreduce(ckbd/p)": int(pred.allreduce_bytes_per_rank),
+                    "measured/bound": round(measured / bound, 3),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_result(
+        "comm_model",
+        format_table(
+            rows,
+            title=(
+                "Section 5.2.1 - measured vs analytic probability-phase "
+                f"volume (p={P}, k={K}, b={B}, d~{DEG})"
+            ),
+        ),
+    )
+
+    by_c = {r["c"]: r for r in rows}
+    # The closed form is a sound upper bound at every c.
+    for r in rows:
+        assert r["measured/bound"] <= 1.0
+    # With row-data deduplicated away, the c-growing all-reduce term shows
+    # through: measured volume rises with c, tracking ckbd/p.
+    assert (
+        by_c[1]["measured_bytes_per_rank"]
+        < by_c[2]["measured_bytes_per_rank"]
+        < by_c[4]["measured_bytes_per_rank"]
+    )
+    # And it stays within an order of magnitude of that term.
+    for c in (2, 4):
+        ar = by_c[c]["model_allreduce(ckbd/p)"]
+        assert 0.1 * ar < by_c[c]["measured_bytes_per_rank"] < 10 * ar

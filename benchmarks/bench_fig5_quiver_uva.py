@@ -1,0 +1,57 @@
+"""Figure 5: Quiver GPU sampling vs Quiver UVA sampling (Papers & Protein).
+
+UVA stores the topology in host DRAM (sampled through unified addressing)
+and keeps 80% of feature rows in DRAM with 20% cached on device.
+
+Paper shapes: GPU sampling beats UVA at every GPU count, and the gap
+shrinks as GPUs are added (sampling becomes a smaller share of the epoch).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import QuiverBaseline, QuiverConfig
+from repro.bench import format_series
+from repro.bench.harness import work_scale_for, workload_hidden
+
+GPU_COUNTS = (4, 8, 16, 32, 64)
+
+
+@pytest.mark.parametrize("dataset", ["papers", "protein"])
+def test_fig5(dataset, benchmark, record_result, bench_graphs):
+    wl, g = bench_graphs(dataset)
+    scale = work_scale_for(wl, g)
+
+    def run():
+        out = {"gpu": [], "uva": []}
+        for mode in ("gpu", "uva"):
+            for p in GPU_COUNTS:
+                stats = QuiverBaseline(
+                    g,
+                    QuiverConfig(
+                        p=p, mode=mode, fanout=wl.fanout,
+                        batch_size=wl.batch_size, work_scale=scale,
+                        hidden=workload_hidden(),
+                    ),
+                ).train_epoch()
+                out[mode].append(stats.total)
+        return out
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_result(
+        f"fig5_{dataset}",
+        format_series(
+            {"Quiver-GPU": series["gpu"], "Quiver-UVA": series["uva"]},
+            GPU_COUNTS,
+            title=f"Figure 5 [{dataset}] - GPU vs UVA sampling (sim s/epoch)",
+        ),
+    )
+
+    gpu, uva = series["gpu"], series["uva"]
+    # GPU sampling wins at every count.
+    assert all(u > g_ for u, g_ in zip(uva, gpu))
+    # The relative gap shrinks with p (sampling's share of the epoch falls).
+    first_gap = uva[0] / gpu[0]
+    last_gap = uva[-1] / gpu[-1]
+    assert last_gap < first_gap

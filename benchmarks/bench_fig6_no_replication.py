@@ -1,0 +1,60 @@
+"""Figure 6: the Graph Replicated pipeline with vs without feature
+replication (NoRep = c pinned to 1) on Papers and Protein.
+
+Paper shapes: removing replication degrades Papers by over 2x (both the
+sampling-adjacent overheads and feature fetching suffer), while Protein —
+which never had a replication factor above 2 in Figure 4 — sees little
+benefit at the counts where c was small anyway.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import format_table
+from repro.bench.harness import run_pipeline_epoch
+
+GPU_COUNTS = (8, 16, 32, 64, 128)
+
+
+@pytest.mark.parametrize("dataset", ["papers", "protein"])
+def test_fig6(dataset, benchmark, record_result, bench_graphs):
+    wl, g = bench_graphs(dataset)
+
+    def run():
+        rows = []
+        for p in GPU_COUNTS:
+            rep, c, k = run_pipeline_epoch(g, wl, p=p)
+            norep, _, _ = run_pipeline_epoch(g, wl, p=p, c=1, k=k)
+            rows.append(
+                {
+                    "p": p,
+                    "c_rep": c,
+                    "rep_total": rep.total,
+                    "norep_total": norep.total,
+                    "rep_fetch": rep.feature_fetch,
+                    "norep_fetch": norep.feature_fetch,
+                    "slowdown": round(norep.total / rep.total, 2),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_result(
+        f"fig6_{dataset}",
+        format_table(
+            rows,
+            title=f"Figure 6 [{dataset}] - replication vs NoRep (sim s/epoch)",
+        ),
+    )
+
+    by_p = {r["p"]: r for r in rows}
+    # Wherever replication was actually used (c > 1), NoRep is slower,
+    # and the damage is in feature fetching.
+    for r in rows:
+        if r["c_rep"] > 1:
+            assert r["norep_total"] > r["rep_total"]
+            assert r["norep_fetch"] > r["rep_fetch"]
+    # At high GPU counts the paper sees over 2x degradation on Papers.
+    if dataset == "papers":
+        assert by_p[64]["slowdown"] > 1.5

@@ -1,0 +1,79 @@
+"""Wall-clock kernel benchmarks (pytest-benchmark proper).
+
+Unlike the figure benchmarks — which report *simulated* seconds — these
+track the real execution speed of the reproduction's hot kernels, so
+regressions in the numpy implementations are visible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import LadiesSampler, SageSampler, its_sample_rows
+from repro.graphs import rmat
+from repro.sparse import row_normalize, spgemm, spmm, sprand
+
+
+@pytest.fixture(scope="module")
+def medium_adj():
+    return rmat(12, 16, np.random.default_rng(0))
+
+
+@pytest.fixture(scope="module")
+def medium_batches(medium_adj):
+    rng = np.random.default_rng(1)
+    return [
+        rng.choice(medium_adj.shape[0], 128, replace=False) for _ in range(16)
+    ]
+
+
+def test_spgemm_kernel(benchmark):
+    rng = np.random.default_rng(2)
+    a = sprand(2000, 2000, 0.005, rng)
+    b = sprand(2000, 2000, 0.005, rng)
+    out = benchmark(spgemm, a, b)
+    assert out.nnz > 0
+
+
+def test_spmm_kernel(benchmark):
+    rng = np.random.default_rng(3)
+    a = sprand(5000, 5000, 0.002, rng)
+    x = rng.standard_normal((5000, 64))
+    out = benchmark(spmm, a, x)
+    assert out.shape == (5000, 64)
+
+
+def test_its_kernel(benchmark, medium_adj):
+    rng = np.random.default_rng(4)
+    q = SageSampler.make_q(
+        rng.choice(medium_adj.shape[0], 2048, replace=False),
+        medium_adj.shape[0],
+    )
+    p = row_normalize(spgemm(q, medium_adj))
+
+    out = benchmark(its_sample_rows, p, 10, rng)
+    assert out.nnz > 0
+
+
+def test_bulk_sage_sampling(benchmark, medium_adj, medium_batches):
+    sampler = SageSampler()
+    rng = np.random.default_rng(5)
+    out = benchmark(
+        sampler.sample_bulk, medium_adj, medium_batches, (10, 5), rng
+    )
+    assert len(out) == len(medium_batches)
+
+
+def test_bulk_ladies_sampling(benchmark, medium_adj, medium_batches):
+    sampler = LadiesSampler()
+    rng = np.random.default_rng(6)
+    out = benchmark(
+        sampler.sample_bulk, medium_adj, medium_batches, (256,), rng
+    )
+    assert len(out) == len(medium_batches)
+
+
+def test_rmat_generation(benchmark):
+    out = benchmark(rmat, 11, 8, np.random.default_rng(7))
+    assert out.shape == (2048, 2048)

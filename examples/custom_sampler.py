@@ -1,0 +1,89 @@
+"""Extending the framework with a new sampling algorithm.
+
+The paper's conclusion names expressing additional sampling algorithms in
+the matrix framework as future work.  This example adds one from scratch:
+**degree-biased node-wise sampling** — like GraphSAGE, but each frontier
+vertex samples neighbors proportionally to the neighbors' own degrees
+(high-degree neighbors carry more signal in power-law graphs).
+
+Only the NORM step changes relative to GraphSAGE; Q construction, SAMPLE
+(inverse transform sampling) and EXTRACT are inherited untouched — which is
+exactly the point of the Algorithm-1 abstraction.
+
+Run:  python examples/custom_sampler.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import SageSampler
+from repro.graphs import load_dataset
+from repro.sparse import CSRMatrix, row_normalize
+
+
+class DegreeBiasedSampler(SageSampler):
+    """Node-wise sampling with neighbor probability ∝ neighbor degree."""
+
+    name = "degree-biased"
+
+    def __init__(self, degrees: np.ndarray, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.degrees = np.asarray(degrees, dtype=np.float64)
+
+    def norm(self, p: CSRMatrix) -> CSRMatrix:
+        # Reweight each nonzero (a candidate neighbor) by its degree, then
+        # normalize rows into distributions.  Everything else — bulk
+        # stacking, ITS, extraction — is inherited from the framework.
+        weighted = CSRMatrix(
+            p.indptr.copy(),
+            p.indices.copy(),
+            p.data * np.maximum(self.degrees[p.indices], 1.0),
+            p.shape,
+        )
+        return row_normalize(weighted)
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    graph = load_dataset("products", scale=0.5, seed=3)
+    degrees = graph.out_degrees()
+
+    batches = [rng.choice(graph.n, 64, replace=False) for _ in range(8)]
+    fanout = (10, 5)
+
+    uniform = SageSampler()
+    biased = DegreeBiasedSampler(degrees)
+
+    u_samples = uniform.sample_bulk(graph.adj, batches, fanout, rng)
+    b_samples = biased.sample_bulk(graph.adj, batches, fanout, rng)
+
+    def mean_frontier_degree(samples) -> float:
+        degs = [
+            degrees[mb.layers[0].src_ids].mean() for mb in samples
+        ]
+        return float(np.mean(degs))
+
+    u_deg = mean_frontier_degree(u_samples)
+    b_deg = mean_frontier_degree(b_samples)
+    print(f"mean degree of sampled frontier, uniform GraphSAGE: {u_deg:8.1f}")
+    print(f"mean degree of sampled frontier, degree-biased:     {b_deg:8.1f}")
+    print(f"bias ratio: {b_deg / u_deg:.2f}x (biased sampler prefers hubs)")
+
+    # The new sampler drops into the distributed machinery unchanged.
+    from repro.comm import Communicator
+    from repro.distributed import replicated_bulk_sampling
+
+    comm = Communicator(4)
+    per_rank = replicated_bulk_sampling(
+        comm, biased, graph.adj, batches, fanout, seed=0
+    )
+    print(
+        f"\ndistributed run on 4 simulated GPUs: "
+        f"{sum(len(r) for r in per_rank)} minibatches sampled, "
+        f"zero communication bytes: {comm.ledger.sent() == 0}"
+    )
+
+
+if __name__ == "__main__":
+    main()

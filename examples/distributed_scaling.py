@@ -1,0 +1,67 @@
+"""Distributed scaling study: the end-to-end pipeline across GPU counts.
+
+Reproduces a slice of the paper's Figure 4 interactively: runs the Graph
+Replicated pipeline on the simulated cluster for p = 4..64 GPUs (with the
+paper's memory model choosing the replication factor c and bulk size k per
+count) and prints the per-phase breakdown next to the Quiver baseline.
+
+All times are SIMULATED seconds from the alpha-beta/roofline cost model —
+the quantity the reproduction tracks against the paper's figures.
+
+Run:  python examples/distributed_scaling.py [dataset]   (default: products)
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.baselines import QuiverBaseline, QuiverConfig
+from repro.bench import (
+    SIM_WORKLOADS,
+    format_stacked_bars,
+    load_bench_graph,
+)
+from repro.bench.harness import run_pipeline_epoch, work_scale_for, workload_hidden
+
+
+def main(dataset: str = "products") -> None:
+    workload = SIM_WORKLOADS[dataset]
+    graph = load_bench_graph(workload)
+    scale = work_scale_for(workload, graph)
+    print(f"{dataset}: sim graph {graph.n} vertices / {graph.m} edges, "
+          f"work scaled x{scale:.0f} to paper magnitude\n")
+
+    rows = []
+    for p in (4, 8, 16, 32, 64):
+        ours, c, k = run_pipeline_epoch(graph, workload, p=p)
+        quiver = QuiverBaseline(
+            graph,
+            QuiverConfig(
+                p=p, fanout=workload.fanout, batch_size=workload.batch_size,
+                work_scale=scale, hidden=workload_hidden(),
+            ),
+        ).train_epoch()
+        rows.append(
+            {
+                "p": f"p={p} (c={c})",
+                "sampling": ours.sampling,
+                "fetch": ours.feature_fetch,
+                "propagation": ours.propagation,
+            }
+        )
+        print(
+            f"p={p:3d}: ours {ours.total:8.4f}s  quiver {quiver.total:8.4f}s"
+            f"  speedup {quiver.total / ours.total:5.2f}x   (c={c}, k={k})"
+        )
+
+    print()
+    print(
+        format_stacked_bars(
+            rows, "p", ["sampling", "fetch", "propagation"],
+            title=f"Per-epoch phase breakdown, {dataset} (simulated seconds)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "products")

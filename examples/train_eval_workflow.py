@@ -1,0 +1,61 @@
+"""Full workflow: distributed training, checkpointing, batched inference.
+
+Puts the supporting pieces together the way a downstream user would:
+
+1. train a GAT model with the distributed pipeline (simulated 4-GPU run),
+2. checkpoint the parameters to disk,
+3. reload into a fresh model and evaluate with layer-wise minibatched
+   inference (exact, memory-bounded — no full activation pyramid).
+
+Run:  python examples/train_eval_workflow.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.gnn import GNNModel, accuracy, load_model_into, save_model
+from repro.graphs import load_dataset
+from repro.pipeline import PipelineConfig, TrainingPipeline, layerwise_inference
+
+
+def main() -> None:
+    graph = load_dataset(
+        "products", scale=0.5, seed=21, with_labels=True, n_classes=8
+    )
+    graph.train_idx = np.arange(0, graph.n, 2)
+
+    cfg = PipelineConfig(
+        p=4, c=2, algorithm="replicated", sampler="sage", conv="sage",
+        fanout=(8, 4), batch_size=64, hidden=32, lr=0.01, seed=0,
+    )
+    pipe = TrainingPipeline(graph, cfg)
+    print(f"training on {cfg.p} simulated GPUs (c={cfg.c}) ...")
+    for epoch in range(6):
+        stats = pipe.train_epoch(epoch)
+        print(f"  epoch {epoch}: loss {stats.loss:.4f}  "
+              f"(sim {stats.total * 1e3:.2f} ms/epoch)")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        ckpt = Path(tmp) / "sage.npz"
+        save_model(pipe.model, ckpt)
+        print(f"checkpointed {ckpt.stat().st_size} bytes")
+
+        fresh = GNNModel(
+            graph.n_features, cfg.hidden, graph.n_classes,
+            len(cfg.fanout), np.random.default_rng(999), conv="sage",
+        )
+        load_model_into(fresh, ckpt)
+
+    # Exact full-graph inference, one layer at a time in row batches.
+    logits = layerwise_inference(fresh, graph, batch_size=256)
+    test_acc = accuracy(logits[graph.test_idx], graph.labels[graph.test_idx])
+    val_acc = accuracy(logits[graph.val_idx], graph.labels[graph.val_idx])
+    print(f"reloaded model — val acc {val_acc:.3f}, test acc {test_acc:.3f}")
+
+
+if __name__ == "__main__":
+    main()

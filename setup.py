@@ -1,0 +1,13 @@
+"""Legacy setup shim: the environment's setuptools lacks PEP 517 editable
+support (no wheel package offline), so ``pip install -e .`` falls back to
+``setup.py develop`` via this file.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+)

@@ -1,0 +1,59 @@
+"""repro: a reproduction of "Distributed Matrix-Based Sampling for Graph
+Neural Network Training" (Tripathy, Yelick, Buluc - MLSys 2024).
+
+The package implements the paper's matrix-based bulk sampling framework and
+every substrate it depends on: a CSR sparse-matrix library with SpGEMM/SpMM
+kernels, a simulated multi-GPU runtime with alpha-beta communication costs,
+1D/1.5D matrix partitioning, the Graph Replicated and Graph Partitioned
+distributed sampling algorithms, a numpy GNN training stack, the end-to-end
+pipeline of Figure 3, and the baselines the paper compares against.
+
+Quickstart::
+
+    import numpy as np
+    from repro.core import SageSampler
+    from repro.graphs import load_dataset
+
+    g = load_dataset("products", scale=0.5, seed=0)
+    sampler = SageSampler()
+    batches = g.make_batches(64)
+    samples = sampler.sample_bulk(
+        g.adj, batches, fanout=(15, 10, 5), rng=np.random.default_rng(0)
+    )
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from . import baselines, bench, comm, core, distributed, gnn, graphs, partition, pipeline, sparse
+from .config import (
+    LADIES_ARCH,
+    PERLMUTTER_LIKE,
+    SAGE_ARCH,
+    ArchitectureConfig,
+    DeviceModel,
+    LinkModel,
+    MachineConfig,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "sparse",
+    "comm",
+    "core",
+    "partition",
+    "distributed",
+    "gnn",
+    "pipeline",
+    "baselines",
+    "graphs",
+    "bench",
+    "MachineConfig",
+    "DeviceModel",
+    "LinkModel",
+    "ArchitectureConfig",
+    "PERLMUTTER_LIKE",
+    "SAGE_ARCH",
+    "LADIES_ARCH",
+]

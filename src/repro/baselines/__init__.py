@@ -1,0 +1,14 @@
+"""Baseline systems the paper compares against: Quiver (GPU and UVA modes),
+the serial CPU LADIES reference, and per-batch (non-bulk) matrix sampling."""
+
+from .cpu_ladies import CpuLadiesResult, reference_cpu_ladies
+from .per_batch import per_batch_sampling
+from .quiver import QuiverBaseline, QuiverConfig
+
+__all__ = [
+    "QuiverBaseline",
+    "QuiverConfig",
+    "reference_cpu_ladies",
+    "CpuLadiesResult",
+    "per_batch_sampling",
+]

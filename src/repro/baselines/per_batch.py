@@ -1,0 +1,52 @@
+"""Per-batch (non-bulk) GPU matrix sampling — the amortization ablation.
+
+Identical semantics and distribution to the Graph Replicated bulk sampler,
+except each minibatch is sampled in its own call, re-paying the per-call
+kernel-launch overheads.  Comparing this against bulk sampling isolates the
+paper's amortization claim (sections 4, 8.1.1) from everything else.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..comm import Communicator
+from ..core import MatrixSampler, MinibatchSample, assign_round_robin
+from ..distributed import RecordingSpGEMM, charge_sampling
+from ..sparse import CSRMatrix
+
+__all__ = ["per_batch_sampling"]
+
+
+def per_batch_sampling(
+    comm: Communicator,
+    sampler: MatrixSampler,
+    adj: CSRMatrix,
+    batches: Sequence[np.ndarray],
+    fanout: Sequence[int],
+    seed: int = 0,
+) -> list[list[MinibatchSample]]:
+    """Sample every batch with its own sampler call (bulk size 1).
+
+    Same ownership and output layout as
+    :func:`repro.distributed.replicated_bulk_sampling`.
+    """
+    owners = assign_round_robin(len(batches), comm.world_size)
+    results: list[list[MinibatchSample]] = []
+    with comm.phase("sampling"):
+        for rank in range(comm.world_size):
+            rng = np.random.default_rng(np.random.SeedSequence([seed, rank]))
+            mine: list[MinibatchSample] = []
+            for i in owners[rank]:
+                recorder = RecordingSpGEMM()
+                mine.extend(
+                    sampler.sample_bulk(
+                        adj, [batches[i]], fanout, rng, spgemm_fn=recorder
+                    )
+                )
+                charge_sampling(comm, rank, recorder, tuple(fanout))
+            results.append(mine)
+        comm.clock.barrier()
+    return results

@@ -1,0 +1,90 @@
+"""ASCII reporting helpers for the benchmark harness.
+
+Benchmarks print the same rows/series the paper's tables and figures show;
+these helpers render them readably in test output.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["format_table", "format_stacked_bars", "format_series"]
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]], *, title: str | None = None
+) -> str:
+    """Render dict-rows as an aligned ASCII table (column order from row 0)."""
+    if not rows:
+        return f"{title or 'table'}: (no rows)"
+    cols = list(rows[0].keys())
+    cells = [[_fmt(r.get(c, "")) for c in cols] for r in rows]
+    widths = [
+        max(len(c), *(len(row[i]) for row in cells)) for i, c in enumerate(cols)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(c.ljust(w) for c, w in zip(cols, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_stacked_bars(
+    rows: Sequence[Mapping[str, object]],
+    label_key: str,
+    part_keys: Sequence[str],
+    *,
+    width: int = 50,
+    title: str | None = None,
+) -> str:
+    """Render stacked horizontal bars (the paper's figure style) in ASCII.
+
+    Each row becomes one bar, split into ``part_keys`` segments scaled so
+    the longest bar spans ``width`` characters.
+    """
+    if not rows:
+        return f"{title or 'bars'}: (no rows)"
+    totals = [sum(float(r[k]) for k in part_keys) for r in rows]
+    peak = max(totals) or 1.0
+    glyphs = "#=+*o@%&"
+    lines = []
+    if title:
+        lines.append(title)
+    legend = "  ".join(
+        f"{glyphs[i % len(glyphs)]}={k}" for i, k in enumerate(part_keys)
+    )
+    lines.append(f"[{legend}]")
+    label_w = max(len(str(r[label_key])) for r in rows)
+    for r, total in zip(rows, totals):
+        bar = ""
+        for i, k in enumerate(part_keys):
+            n = int(round(width * float(r[k]) / peak))
+            bar += glyphs[i % len(glyphs)] * n
+        lines.append(
+            f"{str(r[label_key]).ljust(label_w)} |{bar}  ({total:.4g}s)"
+        )
+    return "\n".join(lines)
+
+
+def format_series(
+    series: Mapping[str, Sequence[float]],
+    x_values: Sequence[object],
+    *,
+    title: str | None = None,
+    unit: str = "s",
+) -> str:
+    """Render named series over shared x values (a figure's line plot)."""
+    rows = [
+        {"x": x, **{name: f"{vals[i]:.5g}{unit}" for name, vals in series.items()}}
+        for i, x in enumerate(x_values)
+    ]
+    return format_table(rows, title=title)
+
+
+def _fmt(v: object) -> str:
+    if isinstance(v, float):
+        return f"{v:.5g}"
+    return str(v)

@@ -1,0 +1,207 @@
+"""Command-line interface: generate datasets, sample, train, run sweeps.
+
+Usage (after install)::
+
+    python -m repro info
+    python -m repro generate products --scale 0.5 --out products.npz
+    python -m repro sample products --sampler ladies --batches 8
+    python -m repro train products --epochs 5 --p 4 --c 2
+    python -m repro sweep products --algorithm replicated
+
+Every subcommand prints human-readable tables; simulated times follow the
+same semantics as the benchmarks (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Distributed matrix-based GNN sampling (MLSys 2024 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="print version and simulated machine config")
+
+    gen = sub.add_parser("generate", help="generate a dataset stand-in to .npz")
+    gen.add_argument("dataset", choices=["products", "protein", "papers"])
+    gen.add_argument("--scale", type=float, default=0.5)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--labels", action="store_true", help="planted labels")
+    gen.add_argument("--out", required=True)
+
+    smp = sub.add_parser("sample", help="bulk-sample minibatches, print stats")
+    smp.add_argument("dataset", choices=["products", "protein", "papers"])
+    smp.add_argument("--sampler", default="sage",
+                     choices=["sage", "ladies", "fastgcn", "saint"])
+    smp.add_argument("--scale", type=float, default=0.25)
+    smp.add_argument("--batches", type=int, default=8)
+    smp.add_argument("--batch-size", type=int, default=32)
+    smp.add_argument("--fanout", default="5,3")
+    smp.add_argument("--seed", type=int, default=0)
+
+    trn = sub.add_parser("train", help="train the pipeline on a sim cluster")
+    trn.add_argument("dataset", choices=["products", "protein", "papers"])
+    trn.add_argument("--scale", type=float, default=0.25)
+    trn.add_argument("--epochs", type=int, default=3)
+    trn.add_argument("--p", type=int, default=4)
+    trn.add_argument("--c", type=int, default=1)
+    trn.add_argument("--algorithm", default="replicated",
+                     choices=["replicated", "partitioned"])
+    trn.add_argument("--sampler", default="sage",
+                     choices=["sage", "ladies", "fastgcn"])
+    trn.add_argument("--batch-size", type=int, default=32)
+    trn.add_argument("--seed", type=int, default=0)
+
+    swp = sub.add_parser("sweep", help="figure-4-style GPU-count sweep")
+    swp.add_argument("dataset", choices=["products", "protein", "papers"])
+    swp.add_argument("--algorithm", default="replicated",
+                     choices=["replicated", "partitioned"])
+    swp.add_argument("--gpus", default="4,8,16,32")
+    return parser
+
+
+def _cmd_info() -> int:
+    import repro
+    from repro.config import PERLMUTTER_LIKE
+
+    m = PERLMUTTER_LIKE
+    print(f"repro {repro.__version__}")
+    print(f"machine: {m.name} ({m.devices_per_node} devices/node)")
+    print(f"  device: {m.device.flops_per_s / 1e12:.1f} TF/s, "
+          f"{m.device.mem_bw / 1e9:.0f} GB/s HBM, "
+          f"{m.device.memory_bytes / 1e9:.0f} GB")
+    print(f"  intra-node link: {1 / m.intra_node.beta / 1e9:.0f} GB/s")
+    print(f"  inter-node link: {1 / m.inter_node.beta / 1e9:.0f} GB/s")
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    from repro.graphs import load_dataset, save_graph, summarize
+
+    graph = load_dataset(
+        args.dataset, scale=args.scale, seed=args.seed,
+        with_labels=args.labels,
+    )
+    path = save_graph(graph, args.out)
+    row = summarize(graph).row()
+    print(f"wrote {path}")
+    for k, v in row.items():
+        print(f"  {k}: {v}")
+    return 0
+
+
+def _cmd_sample(args) -> int:
+    from repro.core import (
+        FastGCNSampler,
+        GraphSaintRWSampler,
+        LadiesSampler,
+        SageSampler,
+    )
+    from repro.graphs import load_dataset
+
+    samplers = {
+        "sage": SageSampler,
+        "ladies": LadiesSampler,
+        "fastgcn": FastGCNSampler,
+        "saint": GraphSaintRWSampler,
+    }
+    graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    rng = np.random.default_rng(args.seed)
+    fanout = tuple(int(x) for x in args.fanout.split(","))
+    batches = [
+        rng.choice(graph.n, args.batch_size, replace=False)
+        for _ in range(args.batches)
+    ]
+    sampler = samplers[args.sampler]()
+    t0 = time.perf_counter()
+    samples = sampler.sample_bulk(graph.adj, batches, fanout, rng)
+    dt = time.perf_counter() - t0
+    edges = sum(mb.total_edges() for mb in samples)
+    frontier = sum(mb.input_frontier.size for mb in samples)
+    print(f"sampled {len(samples)} minibatches with {sampler.name} "
+          f"in {dt * 1e3:.1f} ms (wall)")
+    print(f"  total sampled edges: {edges}")
+    print(f"  total input frontier: {frontier} vertices")
+    print(f"  layers per batch: {samples[0].num_layers}")
+    return 0
+
+
+def _cmd_train(args) -> int:
+    from repro.graphs import load_dataset
+    from repro.pipeline import PipelineConfig, TrainingPipeline
+
+    graph = load_dataset(
+        args.dataset, scale=args.scale, seed=args.seed, with_labels=True
+    )
+    graph.train_idx = np.arange(0, graph.n, 2)
+    fanout = (5, 3) if args.sampler == "sage" else (64,)
+    cfg = PipelineConfig(
+        p=args.p, c=args.c, algorithm=args.algorithm, sampler=args.sampler,
+        fanout=fanout, batch_size=args.batch_size, hidden=32, lr=0.01,
+        seed=args.seed,
+    )
+    pipe = TrainingPipeline(graph, cfg)
+    for epoch in range(args.epochs):
+        stats = pipe.train_epoch(epoch)
+        print(f"epoch {epoch}: loss {stats.loss:.4f}  "
+              f"sim-time {stats.total:.5f}s "
+              f"(sampling {stats.sampling:.5f} / fetch {stats.feature_fetch:.5f}"
+              f" / prop {stats.propagation:.5f})")
+    print(f"test accuracy: {pipe.evaluate('test'):.3f}")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro.bench import SIM_WORKLOADS, format_table, load_bench_graph
+    from repro.bench.harness import run_pipeline_epoch
+
+    workload = SIM_WORKLOADS[args.dataset]
+    graph = load_bench_graph(workload)
+    rows = []
+    for p in (int(x) for x in args.gpus.split(",")):
+        stats, c, k = run_pipeline_epoch(
+            graph, workload, p=p, algorithm=args.algorithm
+        )
+        rows.append(
+            {
+                "p": p,
+                "c": c,
+                "k": k,
+                "sampling_s": stats.sampling,
+                "fetch_s": stats.feature_fetch,
+                "prop_s": stats.propagation,
+                "total_s": stats.total,
+            }
+        )
+    print(format_table(rows, title=f"{args.dataset} / {args.algorithm} sweep"))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "info":
+        return _cmd_info()
+    if args.command == "generate":
+        return _cmd_generate(args)
+    if args.command == "sample":
+        return _cmd_sample(args)
+    if args.command == "train":
+        return _cmd_train(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,22 @@
+"""Simulated distributed runtime: per-rank clocks, alpha-beta collectives,
+process grids and communication-volume accounting.
+
+This substrate stands in for the paper's 128-GPU NCCL deployment; see
+DESIGN.md section 2 for the substitution argument.
+"""
+
+from .clock import SimClock
+from .collectives import Communicator
+from .cost_model import CostModel, Unscaled, payload_nbytes
+from .grid import ProcessGrid
+from .volume import VolumeLedger
+
+__all__ = [
+    "SimClock",
+    "Communicator",
+    "CostModel",
+    "Unscaled",
+    "payload_nbytes",
+    "ProcessGrid",
+    "VolumeLedger",
+]

@@ -1,0 +1,66 @@
+"""Process grids: 1D and 1.5D rank layouts.
+
+The paper's Graph Partitioned algorithm arranges ``p`` processes as a
+``p/c x c`` grid (section 5.2): each *process row* ``P(i, :)`` holds ``c``
+replicas of block row ``i``, and each *process column* ``P(:, j)`` holds one
+copy of every block row.  The feature all-to-allv of the pipeline runs over
+process columns (section 6.2).
+
+Ranks are laid out row-major (``rank = i * c + j``) so that for ``c`` up to
+the node width a replication group lives inside one node, matching how one
+would place replicas on Perlmutter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ProcessGrid"]
+
+
+@dataclass(frozen=True)
+class ProcessGrid:
+    """A ``p/c x c`` grid over ranks ``0 .. p-1``.
+
+    ``c = 1`` degenerates to the plain 1D block-row layout used by the
+    Graph Replicated algorithm.
+    """
+
+    p: int
+    c: int
+
+    def __post_init__(self) -> None:
+        if self.p <= 0 or self.c <= 0:
+            raise ValueError(f"p and c must be positive, got p={self.p} c={self.c}")
+        if self.p % self.c != 0:
+            raise ValueError(
+                f"replication factor c={self.c} must divide process count p={self.p}"
+            )
+
+    @property
+    def n_rows(self) -> int:
+        """Number of process rows (= number of block rows, p/c)."""
+        return self.p // self.c
+
+    def coords(self, rank: int) -> tuple[int, int]:
+        """(process row, process column) of a rank."""
+        if not 0 <= rank < self.p:
+            raise ValueError(f"rank {rank} out of range for p={self.p}")
+        return rank // self.c, rank % self.c
+
+    def rank(self, i: int, j: int) -> int:
+        """Rank at grid position ``(i, j)``."""
+        if not (0 <= i < self.n_rows and 0 <= j < self.c):
+            raise ValueError(f"grid position ({i}, {j}) out of range")
+        return i * self.c + j
+
+    def row_ranks(self, i: int) -> list[int]:
+        """Ranks of process row ``P(i, :)`` — the replication group of block ``i``."""
+        return [self.rank(i, j) for j in range(self.c)]
+
+    def col_ranks(self, j: int) -> list[int]:
+        """Ranks of process column ``P(:, j)`` — one replica of every block."""
+        return [self.rank(i, j) for i in range(self.n_rows)]
+
+    def all_ranks(self) -> list[int]:
+        return list(range(self.p))

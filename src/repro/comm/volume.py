@@ -1,0 +1,75 @@
+"""Communication-volume ledger.
+
+Records every byte each rank sends and receives, split by phase.  The
+analytic-model benchmark (``bench_comm_model``) compares these measured
+volumes against the paper's closed-form ``T_prob`` terms (section 5.2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["VolumeLedger"]
+
+
+@dataclass
+class _PhaseVolume:
+    sent: float = 0.0
+    received: float = 0.0
+    messages: int = 0
+
+
+@dataclass
+class VolumeLedger:
+    """Per-(phase, rank) accounting of communicated bytes."""
+
+    world_size: int
+    _records: dict[tuple[str, int], _PhaseVolume] = field(default_factory=dict)
+
+    def _slot(self, phase: str, rank: int) -> _PhaseVolume:
+        key = (phase, rank)
+        if key not in self._records:
+            self._records[key] = _PhaseVolume()
+        return self._records[key]
+
+    def record_send(self, phase: str, rank: int, nbytes: float, messages: int = 1) -> None:
+        slot = self._slot(phase, rank)
+        slot.sent += nbytes
+        slot.messages += messages
+
+    def record_recv(self, phase: str, rank: int, nbytes: float) -> None:
+        self._slot(phase, rank).received += nbytes
+
+    # -------------------------------------------------------------- #
+    # Readout
+    # -------------------------------------------------------------- #
+    def sent(self, phase: str | None = None, rank: int | None = None) -> float:
+        """Total bytes sent, optionally filtered by phase and/or rank."""
+        return sum(
+            v.sent
+            for (ph, r), v in self._records.items()
+            if (phase is None or ph == phase) and (rank is None or r == rank)
+        )
+
+    def received(self, phase: str | None = None, rank: int | None = None) -> float:
+        """Total bytes received, with the same filters."""
+        return sum(
+            v.received
+            for (ph, r), v in self._records.items()
+            if (phase is None or ph == phase) and (rank is None or r == rank)
+        )
+
+    def messages(self, phase: str | None = None, rank: int | None = None) -> int:
+        """Total message count, with the same filters."""
+        return sum(
+            v.messages
+            for (ph, r), v in self._records.items()
+            if (phase is None or ph == phase) and (rank is None or r == rank)
+        )
+
+    def phases(self) -> list[str]:
+        """Phases observed so far, sorted."""
+        return sorted({ph for ph, _ in self._records})
+
+    def reset(self) -> None:
+        self._records.clear()

@@ -1,0 +1,32 @@
+"""The paper's primary contribution: matrix-based bulk sampling.
+
+Algorithm 1's NORM/SAMPLE/EXTRACT abstraction, inverse transform sampling,
+and its GraphSAGE, LADIES and FastGCN instantiations.
+"""
+
+from .bulk import assign_round_robin, chunk_bulks, split_stacked, stack_batches
+from .fastgcn_sampler import FastGCNSampler
+from .frontier import LayerSample, MinibatchSample
+from .its import gumbel_topk_rows, its_flops, its_sample_rows
+from .ladies_sampler import LadiesSampler
+from .sage_sampler import SageSampler
+from .saint_sampler import GraphSaintRWSampler
+from .sampler_base import MatrixSampler, SpGEMMFn
+
+__all__ = [
+    "MatrixSampler",
+    "SpGEMMFn",
+    "SageSampler",
+    "LadiesSampler",
+    "FastGCNSampler",
+    "GraphSaintRWSampler",
+    "LayerSample",
+    "MinibatchSample",
+    "its_sample_rows",
+    "gumbel_topk_rows",
+    "its_flops",
+    "chunk_bulks",
+    "assign_round_robin",
+    "stack_batches",
+    "split_stacked",
+]

@@ -1,0 +1,61 @@
+"""Bulk-minibatch bookkeeping: chunking an epoch into bulks of ``k`` batches
+and distributing batches over ranks.
+
+The pipeline samples ``k`` minibatches at a time (section 6.1).  When ``k``
+is smaller than the epoch's batch count, sampling repeats per bulk; within
+one bulk each of the ``p`` ranks owns ``k/p`` batches (Graph Replicated) or
+each *process row* owns a block of stacked rows (Graph Partitioned).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, TypeVar
+
+import numpy as np
+
+T = TypeVar("T")
+
+__all__ = ["chunk_bulks", "assign_round_robin", "stack_batches", "split_stacked"]
+
+
+def chunk_bulks(batches: Sequence[T], k: int) -> list[list[T]]:
+    """Split an epoch's batches into bulks of (at most) ``k``."""
+    if k <= 0:
+        raise ValueError(f"bulk size k must be positive, got {k}")
+    return [list(batches[i : i + k]) for i in range(0, len(batches), k)]
+
+
+def assign_round_robin(n_items: int, n_owners: int) -> list[list[int]]:
+    """Item indices owned by each of ``n_owners``, round-robin.
+
+    Round-robin (rather than contiguous blocks) keeps ownership balanced
+    when ``n_items`` is not a multiple of ``n_owners``.
+    """
+    if n_owners <= 0:
+        raise ValueError("need at least one owner")
+    return [list(range(r, n_items, n_owners)) for r in range(n_owners)]
+
+
+def stack_batches(batches: Sequence[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
+    """Equation 1's vertical stacking at the vertex level.
+
+    Returns ``(stacked_vertices, batch_of_row)`` — the concatenated batch
+    vertices and, for every stacked row, which batch it came from.
+    """
+    if not batches:
+        raise ValueError("need at least one batch")
+    stacked = np.concatenate([np.asarray(b, dtype=np.int64) for b in batches])
+    owner = np.repeat(
+        np.arange(len(batches), dtype=np.int64),
+        [len(b) for b in batches],
+    )
+    return stacked, owner
+
+
+def split_stacked(
+    values: np.ndarray, batch_of_row: np.ndarray, n_batches: int
+) -> list[np.ndarray]:
+    """Invert :func:`stack_batches` for any row-aligned array."""
+    if values.shape[0] != batch_of_row.shape[0]:
+        raise ValueError("values and batch_of_row must align")
+    return [values[batch_of_row == i] for i in range(n_batches)]

@@ -1,0 +1,92 @@
+"""Matrix-based FastGCN sampling (Chen et al., 2018).
+
+The paper's background (section 2.2.2) describes FastGCN as the simplest
+layer-wise sampler — each layer draws ``s`` vertices from a *global*,
+batch-independent importance distribution ``q(v) ∝ ||A(:, v)||^2`` — and
+its conclusion names extending the framework to more samplers as future
+work.  This module is that extension: FastGCN drops into the same
+Algorithm-1 skeleton with a different probability construction (the
+distribution comes from column norms of ``A`` rather than a ``Q A``
+product) while sharing SAMPLE and the LADIES-style EXTRACT.
+
+Unlike LADIES, sampled vertices need not lie in the batch's aggregated
+neighborhood, so sampled adjacencies may contain empty rows — the accuracy
+tradeoff the paper points out.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..sparse import CSRMatrix, row_normalize, spgemm, vstack
+from .frontier import LayerSample, MinibatchSample
+from .ladies_sampler import LadiesSampler
+from .sampler_base import SpGEMMFn
+
+__all__ = ["FastGCNSampler"]
+
+
+class FastGCNSampler(LadiesSampler):
+    """FastGCN: layer-wise sampling from a global degree-based distribution."""
+
+    name = "fastgcn"
+
+    @staticmethod
+    def importance_row(adj: CSRMatrix) -> CSRMatrix:
+        """The global FastGCN distribution as a ``1 x n`` CSR row.
+
+        ``q(v) ∝ ||A(:, v)||_2^2``, i.e. the squared column norms; for a
+        binary adjacency this is the in-degree of ``v``.
+        """
+        col_sq = np.zeros(adj.shape[1], dtype=np.float64)
+        if adj.nnz:
+            np.add.at(col_sq, adj.indices, adj.data**2)
+        cols = np.flatnonzero(col_sq)
+        row = CSRMatrix.from_coo(
+            np.zeros(cols.size, dtype=np.int64), cols, col_sq[cols], (1, adj.shape[1])
+        )
+        return row_normalize(row)
+
+    def sample_bulk(
+        self,
+        adj: CSRMatrix,
+        batches: Sequence[np.ndarray],
+        fanout: Sequence[int],
+        rng: np.random.Generator,
+        *,
+        spgemm_fn: SpGEMMFn = spgemm,
+    ) -> list[MinibatchSample]:
+        self._validate(adj, batches, fanout)
+        k = len(batches)
+        dst_lists = [np.asarray(b, dtype=np.int64) for b in batches]
+        layers_rev: list[list[LayerSample]] = [[] for _ in range(k)]
+        importance = self.importance_row(adj)
+
+        for s in fanout:
+            # One independent draw from the same global distribution per
+            # batch: stack k copies of the importance row and SAMPLE.
+            p = vstack([importance] * k)
+            q_next = self.sample(p, s, rng)
+            sampled_lists = [q_next.row(i)[0] for i in range(k)]
+            if self.include_dst:
+                sampled_lists = [
+                    np.union1d(sampled_lists[i], dst_lists[i]) for i in range(k)
+                ]
+            a_r = self.row_extract(adj, dst_lists, spgemm_fn=spgemm_fn)
+            a_s = self.col_extract(
+                a_r, dst_lists, sampled_lists, spgemm_fn=spgemm_fn
+            )
+            for i in range(k):
+                layers_rev[i].append(
+                    LayerSample(a_s[i], sampled_lists[i], dst_lists[i])
+                )
+            dst_lists = sampled_lists
+
+        return [
+            MinibatchSample(
+                np.asarray(batches[i], dtype=np.int64), list(reversed(layers_rev[i]))
+            )
+            for i in range(k)
+        ]

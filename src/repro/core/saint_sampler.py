@@ -1,0 +1,145 @@
+"""Matrix-based graph-wise sampling (GraphSAINT-style random-walk subgraphs).
+
+The paper's taxonomy (section 2.2) has three sampler families — node-wise,
+layer-wise and graph-wise — and its conclusion names expressing more
+algorithms in the matrix framework as future work.  This module adds the
+third family: a GraphSAINT-flavoured sampler (Zeng et al., 2020) that grows
+a vertex set with short random walks from the batch roots and trains on the
+**induced subgraph**.
+
+Everything is built from the same Algorithm-1 pieces:
+
+* each walk step is the GraphSAGE machinery with ``s = 1`` — one uniform
+  neighbor per frontier vertex via ``P = Q A``, NORM, SAMPLE;
+* the induced subgraph is an EXTRACT: rows *and* columns of ``A``
+  restricted to the walk's vertex set (a row-selector SpGEMM followed by a
+  column compaction), the same primitives LADIES extraction uses.
+
+The result is presented as a :class:`MinibatchSample` whose ``L`` layers
+all share the same frontier (the subgraph's vertex set), which is exactly
+how GraphSAINT trains an L-layer GCN on its subgraph.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..sparse import CSRMatrix, row_selector, spgemm
+from .frontier import LayerSample, MinibatchSample
+from .sage_sampler import SageSampler
+from .sampler_base import SpGEMMFn
+
+__all__ = ["GraphSaintRWSampler"]
+
+
+class GraphSaintRWSampler(SageSampler):
+    """Random-walk subgraph sampling in the matrix framework.
+
+    ``fanout`` is interpreted as the GNN depth only (its values are
+    ignored); ``walk_length`` controls how far each root walks.  Each batch
+    vertex starts one walk; the union of visited vertices induces the
+    training subgraph.
+    """
+
+    name = "graphsaint-rw"
+
+    def __init__(self, *, walk_length: int = 3, sample_backend: str = "its") -> None:
+        super().__init__(include_dst=True, sample_backend=sample_backend)
+        if walk_length <= 0:
+            raise ValueError("walk_length must be positive")
+        self.walk_length = walk_length
+
+    def _walk(
+        self,
+        adj: CSRMatrix,
+        roots: np.ndarray,
+        rng: np.random.Generator,
+        spgemm_fn: SpGEMMFn,
+    ) -> np.ndarray:
+        """Visited vertex set of one random walk per root (roots included)."""
+        n = adj.shape[0]
+        visited = [roots]
+        frontier = roots
+        for _ in range(self.walk_length):
+            q = self.make_q(frontier, n)
+            p = self.norm(spgemm_fn(q, adj))
+            step = self.sample(p, 1, rng)
+            # Walkers on isolated vertices stay in place.
+            next_frontier = frontier.copy()
+            rows_with_pick = np.flatnonzero(step.nnz_per_row() > 0)
+            next_frontier[rows_with_pick] = step.indices
+            visited.append(next_frontier)
+            frontier = next_frontier
+        return np.unique(np.concatenate(visited))
+
+    def induced_subgraph(
+        self,
+        adj: CSRMatrix,
+        vertices: np.ndarray,
+        *,
+        spgemm_fn: SpGEMMFn = spgemm,
+    ) -> CSRMatrix:
+        """EXTRACT: ``A`` restricted to ``vertices`` on both axes."""
+        rows = spgemm_fn(row_selector(vertices, adj.shape[0]), adj)
+        mask = np.zeros(adj.shape[1], dtype=bool)
+        mask[vertices] = True
+        return rows.select_columns(mask)
+
+    def sample_bulk(
+        self,
+        adj: CSRMatrix,
+        batches: Sequence[np.ndarray],
+        fanout: Sequence[int],
+        rng: np.random.Generator,
+        *,
+        spgemm_fn: SpGEMMFn = spgemm,
+    ) -> list[MinibatchSample]:
+        self._validate(adj, batches, fanout)
+        n_layers = len(fanout)
+        # Bulk: all batches' walks run in one stacked frontier per step.
+        stacked = np.concatenate([np.asarray(b, dtype=np.int64) for b in batches])
+        bounds = np.cumsum([0] + [len(b) for b in batches])
+        # Walk the stacked roots together (Equation 1 stacking), then split.
+        visited_all = self._split_walk(adj, stacked, bounds, rng, spgemm_fn)
+
+        out: list[MinibatchSample] = []
+        for i, batch in enumerate(batches):
+            batch = np.asarray(batch, dtype=np.int64)
+            verts = np.union1d(visited_all[i], batch)
+            sub = self.induced_subgraph(adj, verts, spgemm_fn=spgemm_fn)
+            # L identical subgraph layers, then a final restriction onto
+            # the batch vertices so the last dst set is the batch.
+            layers = [
+                LayerSample(sub, verts, verts) for _ in range(n_layers - 1)
+            ]
+            pos = np.searchsorted(verts, batch)
+            batch_rows = sub.extract_rows(pos)
+            layers.append(LayerSample(batch_rows, verts, batch))
+            out.append(MinibatchSample(batch, layers))
+        return out
+
+    def _split_walk(self, adj, stacked, bounds, rng, spgemm_fn):
+        """Per-batch visited sets from one stacked (bulk) walk."""
+        n = adj.shape[0]
+        frontier = stacked.copy()
+        per_step = [stacked.copy()]
+        for _ in range(self.walk_length):
+            q = self.make_q(frontier, n)
+            p = self.norm(spgemm_fn(q, adj))
+            step = self.sample(p, 1, rng)
+            nxt = frontier.copy()
+            rows_with_pick = np.flatnonzero(step.nnz_per_row() > 0)
+            nxt[rows_with_pick] = step.indices
+            per_step.append(nxt)
+            frontier = nxt
+        k = len(bounds) - 1
+        return [
+            np.unique(
+                np.concatenate(
+                    [stepv[bounds[i] : bounds[i + 1]] for stepv in per_step]
+                )
+            )
+            for i in range(k)
+        ]

@@ -1,0 +1,114 @@
+"""The matrix-based sampling abstraction (paper Algorithm 1).
+
+Every sampling algorithm is the same loop over layers::
+
+    for l = L .. 1:
+        P       = Q^l A          # generate probability distributions
+        P       = NORM(P)        # sampler-specific normalization
+        Q^{l-1} = SAMPLE(P, b, s)  # inverse transform sampling per row
+        A^l     = EXTRACT(A, Q^l, Q^{l-1})
+
+Samplers differ only in how ``Q`` is constructed, how ``NORM`` turns the
+SpGEMM output into per-row distributions, and what ``EXTRACT`` keeps.  The
+:class:`MatrixSampler` base class pins that contract; the SAMPLE step is
+shared (ITS, with a Gumbel backend option) and lives in
+:mod:`repro.core.its`.
+
+Distributed drivers (:mod:`repro.distributed`) reuse the same NORM/SAMPLE
+pieces on their local block rows and substitute distributed SpGEMMs for the
+``Q^l A`` products, so sampler semantics are defined exactly once.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..sparse import CSRMatrix, spgemm
+from .frontier import MinibatchSample
+from .its import gumbel_topk_rows, its_sample_rows
+
+__all__ = ["MatrixSampler", "SpGEMMFn"]
+
+#: Signature of the SpGEMM used for the probability product; distributed
+#: algorithms substitute their own.
+SpGEMMFn = Callable[[CSRMatrix, CSRMatrix], CSRMatrix]
+
+
+class MatrixSampler(ABC):
+    """Base class for matrix-expressible sampling algorithms.
+
+    ``sample_backend`` selects the SAMPLE implementation: ``"its"`` (the
+    paper's inverse transform sampling) or ``"gumbel"`` (equivalent
+    distribution, single pass).
+    """
+
+    name: str = "abstract"
+
+    def __init__(self, sample_backend: str = "its") -> None:
+        if sample_backend not in ("its", "gumbel"):
+            raise ValueError(f"unknown sample backend {sample_backend!r}")
+        self.sample_backend = sample_backend
+
+    # ------------------------------------------------------------------ #
+    # Algorithm-1 pieces
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def norm(self, p: CSRMatrix) -> CSRMatrix:
+        """NORM(P): turn the raw ``Q A`` product into per-row distributions."""
+
+    def sample(
+        self, p: CSRMatrix, s: int, rng: np.random.Generator
+    ) -> CSRMatrix:
+        """SAMPLE(P, s): ``min(s, nnz)`` distinct columns per row of ``p``."""
+        if self.sample_backend == "gumbel":
+            return gumbel_topk_rows(p, s, rng)
+        return its_sample_rows(p, s, rng)
+
+    # ------------------------------------------------------------------ #
+    # Whole-algorithm entry point (single device)
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def sample_bulk(
+        self,
+        adj: CSRMatrix,
+        batches: Sequence[np.ndarray],
+        fanout: Sequence[int],
+        rng: np.random.Generator,
+        *,
+        spgemm_fn: SpGEMMFn = spgemm,
+    ) -> list[MinibatchSample]:
+        """Sample ``len(batches)`` minibatches in one bulk pass.
+
+        ``fanout[0]`` is the sample count for the layer adjacent to the
+        batch (the paper's layer ``L``) and ``fanout[-1]`` the furthest.
+        Returns one :class:`MinibatchSample` per input batch, in order.
+        """
+
+    # ------------------------------------------------------------------ #
+    # Shared validation
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _validate(
+        adj: CSRMatrix,
+        batches: Sequence[np.ndarray],
+        fanout: Sequence[int],
+    ) -> int:
+        if adj.shape[0] != adj.shape[1]:
+            raise ValueError(f"adjacency must be square, got {adj.shape}")
+        if not batches:
+            raise ValueError("need at least one batch")
+        if not fanout:
+            raise ValueError("need at least one layer fanout")
+        if any(s <= 0 for s in fanout):
+            raise ValueError(f"fanout entries must be positive, got {fanout}")
+        n = adj.shape[0]
+        for b in batches:
+            b = np.asarray(b)
+            if b.ndim != 1 or b.size == 0:
+                raise ValueError("each batch must be a non-empty 1-D array")
+            if b.min() < 0 or b.max() >= n:
+                raise ValueError(f"batch vertex out of range [0, {n})")
+        return n

@@ -1,0 +1,21 @@
+"""Distributed sampling algorithms: Graph Replicated (section 5.1) and
+Graph Partitioned with the 1.5D sparsity-aware SpGEMM (section 5.2)."""
+
+from .analysis import ProbCostInputs, predict_prob_costs
+from .instrument import KERNELS_PER_LAYER, RecordingSpGEMM, charge_sampling
+from .partitioned import partitioned_bulk_sampling
+from .replicated import assign_batches, replicated_bulk_sampling
+from .spgemm_15d import spgemm_15d, stage_blocks
+
+__all__ = [
+    "spgemm_15d",
+    "stage_blocks",
+    "replicated_bulk_sampling",
+    "partitioned_bulk_sampling",
+    "assign_batches",
+    "RecordingSpGEMM",
+    "charge_sampling",
+    "KERNELS_PER_LAYER",
+    "ProbCostInputs",
+    "predict_prob_costs",
+]

@@ -1,0 +1,437 @@
+"""The Graph Partitioned distributed sampling algorithm (paper section 5.2).
+
+Both the adjacency matrix ``A`` and the stacked bulk ``Q`` are partitioned
+into ``p/c`` block rows on a ``p/c x c`` process grid, with each block row
+replicated ``c`` times.  The probability product ``P = Q A`` (and, for
+LADIES, the row-extraction product ``Q_R A``) runs as the sparsity-aware
+1.5D SpGEMM of Algorithm 2; NORM, SAMPLE and the remaining EXTRACT work are
+row-local, exactly as the paper's per-step analysis states (sections
+5.2.1-5.2.3).
+
+Per-phase simulated time is attributed to the phases Figure 7 plots:
+``probability``, ``sampling``, ``extraction``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..comm import Communicator, ProcessGrid
+from ..core import (
+    LadiesSampler,
+    MinibatchSample,
+    SageSampler,
+    assign_round_robin,
+)
+from ..core.frontier import LayerSample
+from ..partition.block1d import BlockRows
+from ..sparse import CSRMatrix, row_selector
+from .instrument import sample_norm_flops
+from .spgemm_15d import spgemm_15d
+
+__all__ = ["partitioned_bulk_sampling"]
+
+
+def _charge_row(
+    comm: Communicator,
+    grid: ProcessGrid,
+    row: int,
+    *,
+    flops: float = 0.0,
+    nbytes: float = 0.0,
+    kernels: int = 1,
+) -> None:
+    """Charge identical (replicated) local work to every rank of a process row."""
+    for rank in grid.row_ranks(row):
+        comm.compute(rank, flops=flops, nbytes=nbytes, kernels=kernels)
+
+
+def _make_q_blocks(
+    per_row_matrices: list[CSRMatrix], n_cols: int
+) -> BlockRows:
+    """Wrap per-process-row Q matrices as a :class:`BlockRows`."""
+    sizes = [m.shape[0] for m in per_row_matrices]
+    starts = np.concatenate([[0], np.cumsum(sizes)])
+    return BlockRows(per_row_matrices, starts, n_cols)
+
+
+def partitioned_bulk_sampling(
+    comm: Communicator,
+    grid: ProcessGrid,
+    sampler: SageSampler | LadiesSampler,
+    a_blocks: BlockRows,
+    batches: Sequence[np.ndarray],
+    fanout: Sequence[int],
+    seed: int = 0,
+    *,
+    sparsity_aware: bool = True,
+) -> tuple[list[MinibatchSample], list[list[int]]]:
+    """Sample one bulk of minibatches with the 1.5D partitioned algorithm.
+
+    ``a_blocks`` must be partitioned into ``grid.n_rows`` block rows.
+    Batches are assigned round-robin to process rows.  Returns the samples
+    in the input batch order plus the per-process-row ownership lists.
+    """
+    if a_blocks.n_blocks != grid.n_rows:
+        raise ValueError(
+            f"A must be partitioned into {grid.n_rows} block rows, "
+            f"got {a_blocks.n_blocks}"
+        )
+    n = a_blocks.n_cols
+    owners = assign_round_robin(len(batches), grid.n_rows)
+    rngs = [
+        np.random.default_rng(np.random.SeedSequence([seed, row]))
+        for row in range(grid.n_rows)
+    ]
+    from ..core import FastGCNSampler  # local import to avoid cycle noise
+
+    if isinstance(sampler, FastGCNSampler):
+        samples_by_row = _fastgcn_partitioned(
+            comm, grid, sampler, a_blocks, batches, owners, fanout, rngs,
+            sparsity_aware,
+        )
+    elif isinstance(sampler, LadiesSampler):
+        samples_by_row = _ladies_partitioned(
+            comm, grid, sampler, a_blocks, batches, owners, fanout, rngs,
+            sparsity_aware,
+        )
+    elif isinstance(sampler, SageSampler):
+        samples_by_row = _sage_partitioned(
+            comm, grid, sampler, a_blocks, batches, owners, fanout, rngs,
+            sparsity_aware,
+        )
+    else:
+        raise TypeError(
+            f"partitioned sampling supports SAGE and LADIES-family samplers, "
+            f"got {type(sampler).__name__}"
+        )
+    # Reassemble into input batch order.
+    out: list[MinibatchSample | None] = [None] * len(batches)
+    for row, idxs in enumerate(owners):
+        for local, global_idx in enumerate(idxs):
+            out[global_idx] = samples_by_row[row][local]
+    return out, owners  # type: ignore[return-value]
+
+
+# ---------------------------------------------------------------------- #
+# GraphSAGE
+# ---------------------------------------------------------------------- #
+def _sage_partitioned(
+    comm: Communicator,
+    grid: ProcessGrid,
+    sampler: SageSampler,
+    a_blocks: BlockRows,
+    batches: Sequence[np.ndarray],
+    owners: list[list[int]],
+    fanout: Sequence[int],
+    rngs: list[np.random.Generator],
+    sparsity_aware: bool,
+) -> list[list[MinibatchSample]]:
+    n = a_blocks.n_cols
+    n_rows = grid.n_rows
+    dst_by_row: list[list[np.ndarray]] = [
+        [np.asarray(batches[i], dtype=np.int64) for i in owners[row]]
+        for row in range(n_rows)
+    ]
+    layers_rev: list[list[list[LayerSample]]] = [
+        [[] for _ in owners[row]] for row in range(n_rows)
+    ]
+
+    for s in fanout:
+        # --- probability: distributed P = Q A -------------------------- #
+        with comm.phase("probability"):
+            q_rows = []
+            for row in range(n_rows):
+                frontier = (
+                    np.concatenate(dst_by_row[row])
+                    if dst_by_row[row]
+                    else np.empty(0, dtype=np.int64)
+                )
+                q_rows.append(sampler.make_q(frontier, n))
+                _charge_row(comm, grid, row, nbytes=16.0 * frontier.size)
+            p_blocks = spgemm_15d(
+                comm, grid, _make_q_blocks(q_rows, n), a_blocks,
+                sparsity_aware=sparsity_aware,
+            )
+        # --- sampling: row-local NORM + SAMPLE ------------------------- #
+        q_next_by_row = []
+        with comm.phase("sampling"):
+            for row in range(n_rows):
+                p = sampler.norm(p_blocks[row])
+                q_next_by_row.append(sampler.sample(p, s, rngs[row]))
+                _charge_row(
+                    comm, grid, row,
+                    flops=sample_norm_flops(p, s),
+                    nbytes=24.0 * p.nnz,
+                    kernels=4,
+                )
+        # --- extraction: row-local column compaction ------------------- #
+        with comm.phase("extraction"):
+            for row in range(n_rows):
+                q_next = q_next_by_row[row]
+                bounds = np.cumsum([0] + [len(d) for d in dst_by_row[row]])
+                new_dsts = []
+                for b, dst in enumerate(dst_by_row[row]):
+                    rows = q_next.row_block(int(bounds[b]), int(bounds[b + 1]))
+                    layer = sampler.extract_batch_layer(rows, dst)
+                    layers_rev[row][b].append(layer)
+                    new_dsts.append(layer.src_ids)
+                dst_by_row[row] = new_dsts
+                _charge_row(
+                    comm, grid, row, nbytes=24.0 * q_next.nnz, kernels=2
+                )
+
+    return [
+        [
+            MinibatchSample(
+                np.asarray(batches[owners[row][b]], dtype=np.int64),
+                list(reversed(layers_rev[row][b])),
+            )
+            for b in range(len(owners[row]))
+        ]
+        for row in range(n_rows)
+    ]
+
+
+# ---------------------------------------------------------------------- #
+# Shared LADIES/FastGCN extraction step (section 5.2.3)
+# ---------------------------------------------------------------------- #
+def _ladies_extraction_step(
+    comm: Communicator,
+    grid: ProcessGrid,
+    sampler: LadiesSampler,
+    a_blocks: BlockRows,
+    dst_by_row: list[list[np.ndarray]],
+    sampled_by_row: list[list[np.ndarray]],
+    layers_rev: list[list[list[LayerSample]]],
+    sparsity_aware: bool,
+) -> None:
+    """Distributed row extraction (1.5D SpGEMM) followed by per-batch column
+    extraction split across each process row's replicas (section 5.2.3)."""
+    n = a_blocks.n_cols
+    n_rows = grid.n_rows
+    with comm.phase("extraction"):
+        qr_rows = []
+        for row in range(n_rows):
+            stacked = (
+                np.concatenate(dst_by_row[row])
+                if dst_by_row[row]
+                else np.empty(0, dtype=np.int64)
+            )
+            qr_rows.append(row_selector(stacked, n))
+        ar_blocks = spgemm_15d(
+            comm, grid, _make_q_blocks(qr_rows, n), a_blocks,
+            sparsity_aware=sparsity_aware,
+        )
+        for row in range(n_rows):
+            a_r = ar_blocks[row]
+            dsts = dst_by_row[row]
+            if not dsts:
+                continue
+            adjs = sampler.col_extract(a_r, dsts, sampled_by_row[row])
+            # The per-batch column-extraction SpGEMMs are split across the
+            # process row's c replicas, then results are all-gathered
+            # (section 5.2.3) so every replica holds every batch.
+            bounds = np.cumsum([0] + [len(d) for d in dsts])
+            batch_ar_nnz = [
+                int(a_r.indptr[bounds[b + 1]] - a_r.indptr[bounds[b]])
+                for b in range(len(dsts))
+            ]
+            shares = assign_round_robin(len(adjs), grid.c)
+            for j, share in enumerate(shares):
+                # Each per-batch SpGEMM scans its A_R rows once, plus the
+                # n-row indptr of its hypersparse column selector (the
+                # section-8.2.2 memory traffic that dominates LADIES).
+                flops = sum(2.0 * batch_ar_nnz[b] for b in share)
+                comm.compute(
+                    grid.rank(row, j),
+                    flops=flops,
+                    nbytes=sum(
+                        24.0 * (batch_ar_nnz[b] + adjs[b].nnz) + 8.0 * n
+                        for b in share
+                    ),
+                    kernels=max(1, len(share)),
+                )
+            comm.allgather(
+                [[adjs[b] for b in shares[j]] for j in range(grid.c)],
+                grid.row_ranks(row),
+            )
+            for b, (adj, sampled, dst) in enumerate(
+                zip(adjs, sampled_by_row[row], dsts)
+            ):
+                layers_rev[row][b].append(LayerSample(adj, sampled, dst))
+
+
+# ---------------------------------------------------------------------- #
+# FastGCN: global importance distribution + LADIES-style extraction
+# ---------------------------------------------------------------------- #
+def _fastgcn_partitioned(
+    comm: Communicator,
+    grid: ProcessGrid,
+    sampler,  # FastGCNSampler; typed loosely to avoid an import cycle
+    a_blocks: BlockRows,
+    batches: Sequence[np.ndarray],
+    owners: list[list[int]],
+    fanout: Sequence[int],
+    rngs: list[np.random.Generator],
+    sparsity_aware: bool,
+) -> list[list[MinibatchSample]]:
+    from ..sparse import vstack
+
+    n = a_blocks.n_cols
+    n_rows = grid.n_rows
+    # --- probability: the global importance vector q(v) ∝ ||A(:,v)||^2.
+    # Each block row contributes its local column squared sums; one
+    # all-reduce per process column combines them (every column holds all
+    # blocks, so p/c ranks participate).
+    with comm.phase("probability"):
+        local_sq = []
+        for row in range(n_rows):
+            blk = a_blocks.blocks[row]
+            sq = np.zeros(n, dtype=np.float64)
+            if blk.nnz:
+                np.add.at(sq, blk.indices, blk.data**2)
+            local_sq.append(sq)
+            _charge_row(comm, grid, row, flops=2.0 * blk.nnz, nbytes=16.0 * blk.nnz)
+        col_sq = None
+        for j in range(grid.c):
+            col_sq = comm.allreduce(local_sq, grid.col_ranks(j))
+        cols = np.flatnonzero(col_sq)
+        importance = CSRMatrix.from_coo(
+            np.zeros(cols.size, dtype=np.int64), cols, col_sq[cols], (1, n)
+        )
+        from ..sparse import row_normalize
+
+        importance = row_normalize(importance)
+
+    dst_by_row: list[list[np.ndarray]] = [
+        [np.asarray(batches[i], dtype=np.int64) for i in owners[row]]
+        for row in range(n_rows)
+    ]
+    layers_rev: list[list[list[LayerSample]]] = [
+        [[] for _ in owners[row]] for row in range(n_rows)
+    ]
+    for s in fanout:
+        sampled_by_row: list[list[np.ndarray]] = []
+        with comm.phase("sampling"):
+            for row in range(n_rows):
+                kb = len(dst_by_row[row])
+                if kb == 0:
+                    sampled_by_row.append([])
+                    continue
+                p = vstack([importance] * kb)
+                q_next = sampler.sample(p, s, rngs[row])
+                sampled = [q_next.row(i)[0] for i in range(kb)]
+                if sampler.include_dst:
+                    sampled = [
+                        np.union1d(sv, dv)
+                        for sv, dv in zip(sampled, dst_by_row[row])
+                    ]
+                sampled_by_row.append(sampled)
+                _charge_row(
+                    comm, grid, row,
+                    flops=sample_norm_flops(p, s),
+                    nbytes=24.0 * p.nnz,
+                    kernels=4,
+                )
+        _ladies_extraction_step(
+            comm, grid, sampler, a_blocks, dst_by_row, sampled_by_row,
+            layers_rev, sparsity_aware,
+        )
+        for row in range(n_rows):
+            if dst_by_row[row]:
+                dst_by_row[row] = sampled_by_row[row]
+
+    return [
+        [
+            MinibatchSample(
+                np.asarray(batches[owners[row][b]], dtype=np.int64),
+                list(reversed(layers_rev[row][b])),
+            )
+            for b in range(len(owners[row]))
+        ]
+        for row in range(n_rows)
+    ]
+
+
+# ---------------------------------------------------------------------- #
+# LADIES (and FastGCN-style layer-wise samplers)
+# ---------------------------------------------------------------------- #
+def _ladies_partitioned(
+    comm: Communicator,
+    grid: ProcessGrid,
+    sampler: LadiesSampler,
+    a_blocks: BlockRows,
+    batches: Sequence[np.ndarray],
+    owners: list[list[int]],
+    fanout: Sequence[int],
+    rngs: list[np.random.Generator],
+    sparsity_aware: bool,
+) -> list[list[MinibatchSample]]:
+    n = a_blocks.n_cols
+    n_rows = grid.n_rows
+    dst_by_row: list[list[np.ndarray]] = [
+        [np.asarray(batches[i], dtype=np.int64) for i in owners[row]]
+        for row in range(n_rows)
+    ]
+    layers_rev: list[list[list[LayerSample]]] = [
+        [[] for _ in owners[row]] for row in range(n_rows)
+    ]
+
+    for s in fanout:
+        # --- probability: distributed P = Q A -------------------------- #
+        with comm.phase("probability"):
+            q_rows = []
+            for row in range(n_rows):
+                if dst_by_row[row]:
+                    q_rows.append(sampler.make_q(dst_by_row[row], n))
+                else:
+                    q_rows.append(CSRMatrix.zeros((0, n)))
+                _charge_row(
+                    comm, grid, row,
+                    nbytes=16.0 * sum(len(d) for d in dst_by_row[row]),
+                )
+            p_blocks = spgemm_15d(
+                comm, grid, _make_q_blocks(q_rows, n), a_blocks,
+                sparsity_aware=sparsity_aware,
+            )
+        # --- sampling: row-local NORM + SAMPLE ------------------------- #
+        sampled_by_row: list[list[np.ndarray]] = []
+        with comm.phase("sampling"):
+            for row in range(n_rows):
+                p = sampler.norm(p_blocks[row])
+                q_next = sampler.sample(p, s, rngs[row])
+                sampled = [q_next.row(i)[0] for i in range(p.shape[0])]
+                if sampler.include_dst:
+                    sampled = [
+                        np.union1d(sv, dv)
+                        for sv, dv in zip(sampled, dst_by_row[row])
+                    ]
+                sampled_by_row.append(sampled)
+                _charge_row(
+                    comm, grid, row,
+                    flops=sample_norm_flops(p, s),
+                    nbytes=24.0 * p.nnz,
+                    kernels=4,
+                )
+        # --- extraction: distributed row extract + split col extract --- #
+        _ladies_extraction_step(
+            comm, grid, sampler, a_blocks, dst_by_row, sampled_by_row,
+            layers_rev, sparsity_aware,
+        )
+        for row in range(n_rows):
+            if dst_by_row[row]:
+                dst_by_row[row] = sampled_by_row[row]
+
+    return [
+        [
+            MinibatchSample(
+                np.asarray(batches[owners[row][b]], dtype=np.int64),
+                list(reversed(layers_rev[row][b])),
+            )
+            for b in range(len(owners[row]))
+        ]
+        for row in range(n_rows)
+    ]

@@ -1,0 +1,32 @@
+"""Neural-network substrate: layers, losses, optimizers and GNN models with
+explicit numpy forward/backward passes (stand-in for PyTorch/PyG)."""
+
+from .activations import Dropout, ReLU
+from .attention import GATConv
+from .checkpoint import load_model_into, save_model
+from .layers import GCNConv, Linear, SAGEConv, glorot
+from .loss import softmax, softmax_cross_entropy
+from .metrics import accuracy, macro_f1
+from .model import GNNModel, full_graph_sample, propagation_flops
+from .optim import SGD, Adam
+
+__all__ = [
+    "ReLU",
+    "Dropout",
+    "Linear",
+    "SAGEConv",
+    "GCNConv",
+    "GATConv",
+    "save_model",
+    "load_model_into",
+    "glorot",
+    "softmax",
+    "softmax_cross_entropy",
+    "accuracy",
+    "macro_f1",
+    "GNNModel",
+    "full_graph_sample",
+    "propagation_flops",
+    "SGD",
+    "Adam",
+]

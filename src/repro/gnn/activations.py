@@ -1,0 +1,47 @@
+"""Activation functions with explicit backward passes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ReLU", "Dropout"]
+
+
+class ReLU:
+    """Rectified linear unit; caches the mask between forward and backward."""
+
+    def __init__(self) -> None:
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return np.where(self._mask, dy, 0.0)
+
+
+class Dropout:
+    """Inverted dropout: scales kept units by ``1/(1-p)`` during training."""
+
+    def __init__(self, p: float, rng: np.random.Generator) -> None:
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self.rng = rng
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, *, training: bool = True) -> np.ndarray:
+        if not training or self.p == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.p
+        self._mask = (self.rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return dy
+        return dy * self._mask

@@ -1,0 +1,33 @@
+"""Softmax cross-entropy loss with gradient."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["softmax", "softmax_cross_entropy"]
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise softmax, numerically stabilized."""
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    e = np.exp(shifted)
+    return e / e.sum(axis=1, keepdims=True)
+
+
+def softmax_cross_entropy(
+    logits: np.ndarray, labels: np.ndarray
+) -> tuple[float, np.ndarray]:
+    """Mean cross-entropy over rows and its gradient w.r.t. the logits."""
+    if logits.ndim != 2:
+        raise ValueError("logits must be 2-D (rows x classes)")
+    if labels.shape[0] != logits.shape[0]:
+        raise ValueError("one label per logit row required")
+    if labels.size and (labels.min() < 0 or labels.max() >= logits.shape[1]):
+        raise ValueError("label out of range")
+    n = logits.shape[0]
+    probs = softmax(logits)
+    picked = probs[np.arange(n), labels]
+    loss = float(-np.log(np.maximum(picked, 1e-12)).mean())
+    grad = probs
+    grad[np.arange(n), labels] -= 1.0
+    return loss, grad / n

@@ -1,0 +1,6 @@
+"""Matrix and feature distribution: 1D / 1.5D block-row partitioning."""
+
+from .block1d import BlockRows, split_rows
+from .feature_store import FeatureStore
+
+__all__ = ["BlockRows", "split_rows", "FeatureStore"]

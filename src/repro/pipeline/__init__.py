@@ -1,0 +1,16 @@
+"""End-to-end distributed training pipeline (paper section 6, Figure 3)."""
+
+from .inference import layerwise_inference
+from .memory import MemoryModel, choose_c_k, quiver_fits
+from .stats import EpochStats
+from .trainer import PipelineConfig, TrainingPipeline
+
+__all__ = [
+    "PipelineConfig",
+    "TrainingPipeline",
+    "EpochStats",
+    "MemoryModel",
+    "layerwise_inference",
+    "choose_c_k",
+    "quiver_fits",
+]

@@ -1,0 +1,45 @@
+"""Per-epoch timing/volume statistics for the training pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["EpochStats"]
+
+
+@dataclass
+class EpochStats:
+    """One epoch's phase breakdown (simulated seconds) and training metrics.
+
+    ``sampling`` / ``feature_fetch`` / ``propagation`` are the three bars
+    the paper stacks in Figures 4 and 6; for the partitioned algorithm the
+    sampling sub-phases (``probability``, ``sampling``, ``extraction``) and
+    the comm/comp split of Figure 7 are also populated.
+    """
+
+    sampling: float = 0.0
+    feature_fetch: float = 0.0
+    propagation: float = 0.0
+    sub_phases: dict[str, float] = field(default_factory=dict)
+    comm_seconds: float = 0.0
+    comp_seconds: float = 0.0
+    bytes_sent: float = 0.0
+    loss: float | None = None
+    n_batches: int = 0
+
+    @property
+    def total(self) -> float:
+        return self.sampling + self.feature_fetch + self.propagation
+
+    def row(self) -> dict[str, object]:
+        """Flat dict for tabular reporting."""
+        out: dict[str, object] = {
+            "sampling_s": round(self.sampling, 6),
+            "fetch_s": round(self.feature_fetch, 6),
+            "propagation_s": round(self.propagation, 6),
+            "total_s": round(self.total, 6),
+            "batches": self.n_batches,
+        }
+        if self.loss is not None:
+            out["loss"] = round(self.loss, 4)
+        return out

@@ -1,0 +1,276 @@
+"""The end-to-end distributed training pipeline (paper section 6, Figure 3).
+
+Bulk-synchronous loop per epoch:
+
+1. **Sampling step** — ``k`` minibatches sampled at once with either the
+   Graph Replicated or Graph Partitioned algorithm; each rank ends up
+   owning ``k/p`` sampled minibatches.
+2. **Feature fetching** — per training round, every rank all-to-allv's with
+   its process column to collect the feature rows of its minibatch's input
+   frontier from the 1.5D-partitioned feature matrix.
+3. **Propagation** — forward/backward on the minibatch, then a gradient
+   all-reduce across all ranks (data parallelism) and an optimizer step.
+
+Simulated time is attributed to the three phases Figure 4 stacks; real
+numpy training (loss, accuracy) can be switched off for performance-only
+sweeps (``train_model=False``) while all costs are still charged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..comm import Communicator, ProcessGrid, Unscaled
+from ..config import MachineConfig, PERLMUTTER_LIKE
+from ..core import (
+    FastGCNSampler,
+    LadiesSampler,
+    MinibatchSample,
+    SageSampler,
+    chunk_bulks,
+)
+from ..distributed import (
+    partitioned_bulk_sampling,
+    replicated_bulk_sampling,
+)
+from ..gnn import (
+    GNNModel,
+    accuracy,
+    Adam,
+    full_graph_sample,
+    propagation_flops,
+    softmax_cross_entropy,
+)
+from ..graphs import Graph
+from ..partition import BlockRows, FeatureStore
+from .stats import EpochStats
+
+__all__ = ["PipelineConfig", "TrainingPipeline"]
+
+_SAMPLERS = {
+    "sage": lambda: SageSampler(include_dst=True),
+    "ladies": lambda: LadiesSampler(include_dst=True),
+    "fastgcn": lambda: FastGCNSampler(include_dst=True),
+}
+_DEFAULT_CONV = {"sage": "sage", "ladies": "gcn", "fastgcn": "gcn"}
+_SAMPLING_PHASES = ("sampling", "probability", "extraction")
+
+
+@dataclass
+class PipelineConfig:
+    """Configuration of one pipeline instance."""
+
+    p: int
+    c: int = 1
+    algorithm: str = "replicated"  # "replicated" | "partitioned"
+    sampler: str = "sage"  # "sage" | "ladies" | "fastgcn"
+    fanout: tuple[int, ...] = (15, 10, 5)
+    batch_size: int = 1024
+    k: int | None = None  # bulk size in minibatches; None = whole epoch
+    hidden: int = 256
+    lr: float = 3e-3
+    seed: int = 0
+    train_model: bool = True
+    sparsity_aware: bool = True
+    conv: str | None = None  # model conv type; defaults per sampler
+    work_scale: float = 1.0  # sim-to-paper workload scale (see Communicator)
+    machine: MachineConfig = field(default_factory=lambda: PERLMUTTER_LIKE)
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in ("replicated", "partitioned"):
+            raise ValueError(f"unknown algorithm {self.algorithm!r}")
+        if self.sampler not in _SAMPLERS:
+            raise ValueError(f"unknown sampler {self.sampler!r}")
+        if self.p <= 0 or self.c <= 0 or self.p % self.c:
+            raise ValueError("need c | p with both positive")
+        if self.k is not None and self.k <= 0:
+            raise ValueError("bulk size k must be positive")
+
+
+class TrainingPipeline:
+    """A simulated multi-GPU training run over one graph."""
+
+    def __init__(self, graph: Graph, config: PipelineConfig) -> None:
+        if graph.features is None:
+            raise ValueError("pipeline needs node features")
+        self.graph = graph
+        self.config = config
+        self.comm = Communicator(
+            config.p, config.machine, work_scale=config.work_scale
+        )
+        self.grid = ProcessGrid(config.p, config.c)
+        self.store = FeatureStore(graph.features, self.grid)
+        self.sampler = _SAMPLERS[config.sampler]()
+        if config.algorithm == "partitioned":
+            self.a_blocks = BlockRows.partition(graph.adj, self.grid.n_rows)
+        else:
+            self.a_blocks = None
+        self._rng = np.random.default_rng(config.seed)
+        conv = config.conv or _DEFAULT_CONV[config.sampler]
+        n_classes = max(2, graph.n_classes)
+        self.model = GNNModel(
+            graph.n_features,
+            config.hidden,
+            n_classes,
+            len(config.fanout),
+            np.random.default_rng(config.seed + 1),
+            conv=conv,
+        )
+        self.optimizer = Adam(lr=config.lr)
+        self._dims = (
+            [graph.n_features]
+            + [config.hidden] * (len(config.fanout) - 1)
+            + [n_classes]
+        )
+        self._param_bytes = 4.0 * sum(
+            v.size for v in self.model.parameters().values()
+        )
+
+    # ------------------------------------------------------------------ #
+    # Sampling step
+    # ------------------------------------------------------------------ #
+    def _sample_bulk(
+        self, bulk: list[np.ndarray], seed: int
+    ) -> list[list[MinibatchSample]]:
+        """Run one bulk sampling step; returns per-rank minibatch lists."""
+        cfg = self.config
+        if cfg.algorithm == "replicated":
+            return replicated_bulk_sampling(
+                self.comm, self.sampler, self.graph.adj, bulk, cfg.fanout,
+                seed=seed,
+            )
+        samples, owners = partitioned_bulk_sampling(
+            self.comm, self.grid, self.sampler, self.a_blocks, bulk,
+            cfg.fanout, seed=seed, sparsity_aware=cfg.sparsity_aware,
+        )
+        # Each process row's batches are trained by its c replica ranks,
+        # round-robin, so all p ranks participate in propagation.
+        per_rank: list[list[MinibatchSample]] = [
+            [] for _ in range(cfg.p)
+        ]
+        for row, idxs in enumerate(owners):
+            for pos, batch_idx in enumerate(idxs):
+                rank = self.grid.rank(row, pos % self.grid.c)
+                per_rank[rank].append(samples[batch_idx])
+        return per_rank
+
+    # ------------------------------------------------------------------ #
+    # Training
+    # ------------------------------------------------------------------ #
+    def train_epoch(self, epoch: int = 0) -> EpochStats:
+        """One epoch: sample all batches in bulks of k, fetch, propagate."""
+        cfg = self.config
+        self.comm.clock.reset()
+        self.comm.ledger.reset()
+        rng = np.random.default_rng(
+            np.random.SeedSequence([cfg.seed, 17, epoch])
+        )
+        batches = self.graph.make_batches(cfg.batch_size, rng)
+        k = cfg.k or len(batches)
+        losses: list[float] = []
+        for bulk_idx, bulk in enumerate(chunk_bulks(batches, k)):
+            per_rank = self._sample_bulk(bulk, seed=cfg.seed + 31 * bulk_idx + epoch)
+            rounds = max(len(s) for s in per_rank)
+            for t in range(rounds):
+                current = [
+                    s[t] if t < len(s) else None for s in per_rank
+                ]
+                fetched = self._fetch_features(current)
+                loss = self._propagate(current, fetched)
+                if loss is not None:
+                    losses.append(loss)
+        return self._epoch_stats(len(batches), losses)
+
+    def _fetch_features(
+        self, current: list[MinibatchSample | None]
+    ) -> list[np.ndarray | None]:
+        needed = [
+            mb.input_frontier if mb is not None else np.empty(0, dtype=np.int64)
+            for mb in current
+        ]
+        with self.comm.phase("feature_fetch"):
+            fetched = self.store.fetch(self.comm, needed)
+        return [
+            fetched[r] if current[r] is not None else None
+            for r in range(self.config.p)
+        ]
+
+    def _propagate(
+        self,
+        current: list[MinibatchSample | None],
+        fetched: list[np.ndarray | None],
+    ) -> float | None:
+        cfg = self.config
+        active = [r for r, mb in enumerate(current) if mb is not None]
+        if not active:
+            return None
+        loss_sum = 0.0
+        with self.comm.phase("propagation"):
+            for r in active:
+                mb = current[r]
+                self.comm.compute(
+                    r,
+                    flops=propagation_flops(mb, self._dims),
+                    nbytes=32.0 * mb.total_edges(),
+                    kernels=6 * len(mb.layers),
+                )
+            if cfg.train_model:
+                self.model.zero_grad()
+                for r in active:
+                    mb, x = current[r], fetched[r]
+                    logits = self.model.forward(mb, x)
+                    loss, dlogits = softmax_cross_entropy(
+                        logits, self.graph.labels[mb.batch]
+                    )
+                    # Scale so the summed gradients average over ranks.
+                    self.model.backward(dlogits / len(active))
+                    loss_sum += loss
+            # Data-parallel gradient all-reduce across all ranks.
+            # Gradients are model-sized (not graph-sized): unscaled wire.
+            grad_payload = Unscaled(np.empty(int(self._param_bytes // 8)))
+            self.comm.allreduce(
+                [grad_payload] * cfg.p, list(range(cfg.p)),
+                op=lambda vals: vals[0],
+            )
+            if cfg.train_model:
+                self.optimizer.step(
+                    self.model.parameters(), self.model.gradients()
+                )
+        return loss_sum / len(active) if cfg.train_model else None
+
+    def _epoch_stats(self, n_batches: int, losses: list[float]) -> EpochStats:
+        clock = self.comm.clock
+        sub = clock.breakdown()
+        by_kind = clock.breakdown_by_kind()
+        sampling = sum(sub.get(ph, 0.0) for ph in _SAMPLING_PHASES)
+        return EpochStats(
+            sampling=sampling,
+            feature_fetch=sub.get("feature_fetch", 0.0),
+            propagation=sub.get("propagation", 0.0),
+            sub_phases={
+                ph: sub.get(ph, 0.0)
+                for ph in _SAMPLING_PHASES
+                if ph in sub
+            },
+            comm_seconds=sum(
+                v for (ph, kind), v in by_kind.items() if kind == "comm"
+            ),
+            comp_seconds=sum(
+                v for (ph, kind), v in by_kind.items() if kind == "compute"
+            ),
+            bytes_sent=self.comm.ledger.sent(),
+            loss=float(np.mean(losses)) if losses else None,
+            n_batches=n_batches,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Evaluation
+    # ------------------------------------------------------------------ #
+    def evaluate(self, split: str = "test") -> float:
+        """Full-neighbor accuracy on a split (no sampling noise)."""
+        idx = getattr(self.graph, f"{split}_idx")
+        full = full_graph_sample(self.graph.adj, len(self.config.fanout))
+        logits = self.model.forward(full, self.graph.features)
+        return accuracy(logits[idx], self.graph.labels[idx])

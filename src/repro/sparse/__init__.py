@@ -1,0 +1,39 @@
+"""Sparse-matrix substrate: CSR storage, SpGEMM/SpMM kernels, structural ops.
+
+Everything the paper's sampling framework needs from cuSPARSE/nsparse,
+implemented from scratch with vectorized numpy kernels.
+"""
+
+from .csr import CSRMatrix
+from .ops import (
+    block_diag,
+    col_selector,
+    compact_columns,
+    hstack,
+    indicator_rows,
+    row_normalize,
+    row_selector,
+    vstack,
+)
+from .random_matrix import sprand, sprand_per_row
+from .spgemm import required_rows, spgemm, spgemm_flops
+from .spmm import spmm, spmm_flops
+
+__all__ = [
+    "CSRMatrix",
+    "spgemm",
+    "spgemm_flops",
+    "required_rows",
+    "spmm",
+    "spmm_flops",
+    "vstack",
+    "hstack",
+    "block_diag",
+    "row_selector",
+    "col_selector",
+    "indicator_rows",
+    "row_normalize",
+    "compact_columns",
+    "sprand",
+    "sprand_per_row",
+]

@@ -1,0 +1,315 @@
+"""Compressed sparse row matrices built on numpy arrays.
+
+This is the sparse substrate the paper's sampling framework runs on.  The
+paper uses cuSPARSE/nsparse CSR kernels on GPU; here the same operations are
+implemented as vectorized numpy kernels.  Only CSR supports SpGEMM (matching
+the constraint the paper works around in section 8.2.2), so everything
+funnels through this class.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["CSRMatrix"]
+
+
+class CSRMatrix:
+    """A CSR sparse matrix with float64 values and int64 indices.
+
+    Invariants (checked by :meth:`check`):
+
+    * ``indptr`` has length ``shape[0] + 1``, is non-decreasing, starts at 0
+      and ends at ``nnz``.
+    * ``indices`` and ``data`` have length ``nnz``; column indices are within
+      ``[0, shape[1])`` and sorted within each row with no duplicates.
+    """
+
+    __slots__ = ("indptr", "indices", "data", "shape")
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        data: np.ndarray,
+        shape: tuple[int, int],
+    ) -> None:
+        self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        self.indices = np.ascontiguousarray(indices, dtype=np.int64)
+        self.data = np.ascontiguousarray(data, dtype=np.float64)
+        self.shape = (int(shape[0]), int(shape[1]))
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_coo(
+        cls,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        vals: np.ndarray | None,
+        shape: tuple[int, int],
+        *,
+        sum_duplicates: bool = True,
+    ) -> "CSRMatrix":
+        """Build from COO triplets, sorting and (optionally) summing duplicates."""
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        if vals is None:
+            vals = np.ones(rows.shape[0], dtype=np.float64)
+        else:
+            vals = np.asarray(vals, dtype=np.float64)
+        if not (rows.shape == cols.shape == vals.shape):
+            raise ValueError("rows, cols and vals must have identical shapes")
+        n_rows, n_cols = int(shape[0]), int(shape[1])
+        if rows.size:
+            if rows.min() < 0 or rows.max() >= n_rows:
+                raise ValueError("row index out of range")
+            if cols.min() < 0 or cols.max() >= n_cols:
+                raise ValueError("column index out of range")
+        order = np.lexsort((cols, rows))
+        rows, cols, vals = rows[order], cols[order], vals[order]
+        if sum_duplicates and rows.size:
+            boundary = np.empty(rows.size, dtype=bool)
+            boundary[0] = True
+            boundary[1:] = (rows[1:] != rows[:-1]) | (cols[1:] != cols[:-1])
+            starts = np.flatnonzero(boundary)
+            vals = np.add.reduceat(vals, starts)
+            rows, cols = rows[starts], cols[starts]
+        indptr = np.zeros(n_rows + 1, dtype=np.int64)
+        np.add.at(indptr, rows + 1, 1)
+        np.cumsum(indptr, out=indptr)
+        return cls(indptr, cols, vals, (n_rows, n_cols))
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "CSRMatrix":
+        """Build from a 2-D dense array, keeping exact nonzeros."""
+        dense = np.asarray(dense, dtype=np.float64)
+        if dense.ndim != 2:
+            raise ValueError(f"expected a 2-D array, got shape {dense.shape}")
+        rows, cols = np.nonzero(dense)
+        return cls.from_coo(rows, cols, dense[rows, cols], dense.shape)
+
+    @classmethod
+    def zeros(cls, shape: tuple[int, int]) -> "CSRMatrix":
+        """An empty matrix of the given shape."""
+        return cls(
+            np.zeros(int(shape[0]) + 1, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.float64),
+            shape,
+        )
+
+    @classmethod
+    def identity(cls, n: int) -> "CSRMatrix":
+        """The n-by-n identity."""
+        idx = np.arange(n, dtype=np.int64)
+        return cls(np.arange(n + 1, dtype=np.int64), idx, np.ones(n), (n, n))
+
+    @classmethod
+    def from_scipy(cls, mat) -> "CSRMatrix":
+        """Convert from a scipy.sparse matrix (used by tests as an oracle)."""
+        mat = mat.tocsr()
+        mat.sum_duplicates()
+        mat.sort_indices()
+        return cls(mat.indptr, mat.indices, mat.data, mat.shape)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def nnz(self) -> int:
+        """Number of stored nonzeros."""
+        return int(self.indices.shape[0])
+
+    def nnz_per_row(self) -> np.ndarray:
+        """Stored entries in each row, length ``shape[0]``."""
+        return np.diff(self.indptr)
+
+    def row_sums(self) -> np.ndarray:
+        """Sum of values in each row."""
+        out = np.zeros(self.shape[0], dtype=np.float64)
+        if self.nnz:
+            np.add.at(out, self.row_ids(), self.data)
+        return out
+
+    def row_ids(self) -> np.ndarray:
+        """Row index of every stored entry (COO expansion of ``indptr``)."""
+        return np.repeat(np.arange(self.shape[0], dtype=np.int64), self.nnz_per_row())
+
+    def row(self, i: int) -> tuple[np.ndarray, np.ndarray]:
+        """(columns, values) of row ``i``."""
+        if not 0 <= i < self.shape[0]:
+            raise IndexError(f"row {i} out of range for shape {self.shape}")
+        lo, hi = self.indptr[i], self.indptr[i + 1]
+        return self.indices[lo:hi], self.data[lo:hi]
+
+    def check(self) -> None:
+        """Validate CSR invariants; raise ``ValueError`` on violation."""
+        if self.indptr.shape[0] != self.shape[0] + 1:
+            raise ValueError("indptr length does not match row count")
+        if self.indptr[0] != 0 or self.indptr[-1] != self.nnz:
+            raise ValueError("indptr must start at 0 and end at nnz")
+        if np.any(np.diff(self.indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        if self.indices.shape != self.data.shape:
+            raise ValueError("indices and data length mismatch")
+        if self.nnz:
+            if self.indices.min() < 0 or self.indices.max() >= self.shape[1]:
+                raise ValueError("column index out of range")
+            rows = self.row_ids()
+            keys = rows * self.shape[1] + self.indices
+            if np.any(np.diff(keys) <= 0):
+                raise ValueError("columns must be strictly increasing within rows")
+
+    # ------------------------------------------------------------------ #
+    # Conversion
+    # ------------------------------------------------------------------ #
+    def to_dense(self) -> np.ndarray:
+        """Materialize as a dense 2-D array."""
+        out = np.zeros(self.shape, dtype=np.float64)
+        if self.nnz:
+            out[self.row_ids(), self.indices] = self.data
+        return out
+
+    def to_coo(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(rows, cols, vals) triplets in row-major order."""
+        return self.row_ids(), self.indices.copy(), self.data.copy()
+
+    def to_scipy(self):
+        """Convert to ``scipy.sparse.csr_matrix`` (tests only)."""
+        from scipy.sparse import csr_matrix
+
+        return csr_matrix(
+            (self.data, self.indices, self.indptr), shape=self.shape
+        )
+
+    def copy(self) -> "CSRMatrix":
+        """Deep copy."""
+        return CSRMatrix(
+            self.indptr.copy(), self.indices.copy(), self.data.copy(), self.shape
+        )
+
+    # ------------------------------------------------------------------ #
+    # Structural operations
+    # ------------------------------------------------------------------ #
+    def transpose(self) -> "CSRMatrix":
+        """Transposed matrix (CSR of the CSC view)."""
+        rows, cols, vals = self.to_coo()
+        return CSRMatrix.from_coo(
+            cols, rows, vals, (self.shape[1], self.shape[0]), sum_duplicates=False
+        )
+
+    def extract_rows(self, rows: Iterable[int] | np.ndarray) -> "CSRMatrix":
+        """Gather ``rows`` (in the given order, duplicates allowed) into a new matrix."""
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.size and (rows.min() < 0 or rows.max() >= self.shape[0]):
+            raise IndexError("row index out of range")
+        counts = self.nnz_per_row()[rows]
+        starts = self.indptr[rows]
+        take = _ranges(starts, counts)
+        indptr = np.zeros(rows.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return CSRMatrix(indptr, self.indices[take], self.data[take], (rows.size, self.shape[1]))
+
+    def row_block(self, start: int, stop: int) -> "CSRMatrix":
+        """Contiguous block of rows ``[start, stop)`` (zero-copy on indices/data)."""
+        if not 0 <= start <= stop <= self.shape[0]:
+            raise IndexError(f"block [{start}, {stop}) out of range")
+        lo, hi = self.indptr[start], self.indptr[stop]
+        return CSRMatrix(
+            self.indptr[start : stop + 1] - lo,
+            self.indices[lo:hi],
+            self.data[lo:hi],
+            (stop - start, self.shape[1]),
+        )
+
+    def select_columns(self, mask: np.ndarray) -> "CSRMatrix":
+        """Keep only columns where ``mask`` is true, renumbering them densely."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape[0] != self.shape[1]:
+            raise ValueError("mask length must equal column count")
+        new_id = np.cumsum(mask, dtype=np.int64) - 1
+        keep = mask[self.indices]
+        rows = self.row_ids()[keep]
+        indptr = np.zeros(self.shape[0] + 1, dtype=np.int64)
+        np.add.at(indptr, rows + 1, 1)
+        np.cumsum(indptr, out=indptr)
+        return CSRMatrix(
+            indptr,
+            new_id[self.indices[keep]],
+            self.data[keep],
+            (self.shape[0], int(mask.sum())),
+        )
+
+    def nonzero_columns(self) -> np.ndarray:
+        """Sorted unique column ids that hold at least one nonzero."""
+        return np.unique(self.indices)
+
+    def scale_rows(self, factors: np.ndarray) -> "CSRMatrix":
+        """Multiply each row by a scalar factor (returns a new matrix)."""
+        factors = np.asarray(factors, dtype=np.float64)
+        if factors.shape[0] != self.shape[0]:
+            raise ValueError("one factor per row required")
+        return CSRMatrix(
+            self.indptr.copy(),
+            self.indices.copy(),
+            self.data * factors[self.row_ids()] if self.nnz else self.data.copy(),
+            self.shape,
+        )
+
+    def prune_zeros(self, tol: float = 0.0) -> "CSRMatrix":
+        """Drop stored entries with ``|value| <= tol``."""
+        keep = np.abs(self.data) > tol
+        rows = self.row_ids()[keep]
+        indptr = np.zeros(self.shape[0] + 1, dtype=np.int64)
+        np.add.at(indptr, rows + 1, 1)
+        np.cumsum(indptr, out=indptr)
+        return CSRMatrix(indptr, self.indices[keep], self.data[keep], self.shape)
+
+    # ------------------------------------------------------------------ #
+    # Arithmetic
+    # ------------------------------------------------------------------ #
+    def __matmul__(self, other):
+        from .spgemm import spgemm
+        from .spmm import spmm
+
+        if isinstance(other, CSRMatrix):
+            return spgemm(self, other)
+        other = np.asarray(other)
+        return spmm(self, other)
+
+    def add(self, other: "CSRMatrix") -> "CSRMatrix":
+        """Element-wise sum with another matrix of the same shape."""
+        if self.shape != other.shape:
+            raise ValueError(f"shape mismatch {self.shape} vs {other.shape}")
+        rows = np.concatenate([self.row_ids(), other.row_ids()])
+        cols = np.concatenate([self.indices, other.indices])
+        vals = np.concatenate([self.data, other.data])
+        return CSRMatrix.from_coo(rows, cols, vals, self.shape)
+
+    def equal(self, other: "CSRMatrix", tol: float = 1e-12) -> bool:
+        """Structural + numeric equality after pruning explicit zeros."""
+        a, b = self.prune_zeros(), other.prune_zeros()
+        return (
+            a.shape == b.shape
+            and np.array_equal(a.indptr, b.indptr)
+            and np.array_equal(a.indices, b.indices)
+            and np.allclose(a.data, b.data, atol=tol)
+        )
+
+    def __repr__(self) -> str:
+        return f"CSRMatrix(shape={self.shape}, nnz={self.nnz})"
+
+
+def _ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenate ``arange(start, start+count)`` for each pair, vectorized."""
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    out = np.repeat(starts, counts)
+    offsets = np.arange(total, dtype=np.int64)
+    offsets -= np.repeat(np.cumsum(counts) - counts, counts)
+    return out + offsets

@@ -1,0 +1,67 @@
+"""Shared fixtures: RNGs, small graphs and datasets used across the suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import Graph, load_dataset, planted_partition, rmat
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def small_adj():
+    """A ~512-vertex R-MAT adjacency shared (read-only) across tests."""
+    return rmat(9, 8, np.random.default_rng(7))
+
+
+@pytest.fixture(scope="session")
+def paper_example_adj():
+    """The 6-vertex example graph of the paper's Figure 1.
+
+    Edges (directed, row = aggregating vertex): matches the adjacency matrix
+    drawn in Figure 2a/2b.
+    """
+    from repro.sparse import CSRMatrix
+
+    dense = np.array(
+        [
+            [0, 1, 0, 0, 0, 0],
+            [1, 0, 1, 0, 1, 0],
+            [0, 1, 0, 1, 1, 0],
+            [0, 0, 1, 0, 1, 1],
+            [0, 1, 1, 1, 0, 1],
+            [0, 0, 0, 1, 1, 0],
+        ],
+        dtype=np.float64,
+    )
+    return CSRMatrix.from_dense(dense)
+
+
+@pytest.fixture(scope="session")
+def labeled_graph() -> Graph:
+    """A planted-partition graph with learnable labels and features."""
+    g = load_dataset(
+        "products", scale=0.25, seed=3, with_labels=True, n_classes=6
+    )
+    g.train_idx = np.arange(0, g.n, 2)
+    return g
+
+
+@pytest.fixture(scope="session")
+def perf_graph() -> Graph:
+    """An unlabeled performance graph with a wide training split."""
+    g = load_dataset("products", scale=0.5, seed=4)
+    g.train_idx = np.arange(0, g.n, 2)
+    return g
+
+
+@pytest.fixture
+def batches(small_adj, rng):
+    """Eight 32-vertex minibatches over the small graph."""
+    n = small_adj.shape[0]
+    return [rng.choice(n, 32, replace=False) for _ in range(8)]

@@ -1,0 +1,122 @@
+"""Bulk sampling: stacking bookkeeping and bulk-vs-single equivalence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    LadiesSampler,
+    SageSampler,
+    assign_round_robin,
+    chunk_bulks,
+    split_stacked,
+    stack_batches,
+)
+
+
+class TestBookkeeping:
+    def test_chunk_bulks(self):
+        bs = list(range(10))
+        bulks = chunk_bulks(bs, 4)
+        assert [len(b) for b in bulks] == [4, 4, 2]
+        assert bulks[2] == [8, 9]
+        with pytest.raises(ValueError):
+            chunk_bulks(bs, 0)
+
+    def test_chunk_bulks_exact_division(self):
+        assert [len(b) for b in chunk_bulks(list(range(8)), 4)] == [4, 4]
+
+    def test_assign_round_robin(self):
+        owners = assign_round_robin(10, 4)
+        assert owners[0] == [0, 4, 8]
+        assert owners[3] == [3, 7]
+        assert sorted(sum(owners, [])) == list(range(10))
+        # balance within one item
+        sizes = [len(o) for o in owners]
+        assert max(sizes) - min(sizes) <= 1
+        with pytest.raises(ValueError):
+            assign_round_robin(4, 0)
+
+    def test_stack_and_split(self):
+        batches = [np.array([3, 1]), np.array([7]), np.array([2, 8, 4])]
+        stacked, owner = stack_batches(batches)
+        assert np.array_equal(stacked, [3, 1, 7, 2, 8, 4])
+        assert np.array_equal(owner, [0, 0, 1, 2, 2, 2])
+        parts = split_stacked(stacked, owner, 3)
+        for got, want in zip(parts, batches):
+            assert np.array_equal(got, want)
+        with pytest.raises(ValueError):
+            stack_batches([])
+        with pytest.raises(ValueError):
+            split_stacked(stacked, owner[:-1], 3)
+
+
+class TestBulkEquivalence:
+    """Bulk sampling must be distribution-identical to per-batch sampling.
+
+    The outputs for a batch cannot be bitwise-equal across bulk sizes (the
+    RNG stream differs), so we compare *statistics*: marginal frequencies of
+    sampled vertices for a fixed batch under bulk vs solo sampling.
+    """
+
+    def _marginals(self, adj, batch, runs, sample_fn):
+        counts = np.zeros(adj.shape[0])
+        for seed in range(runs):
+            mb = sample_fn(batch, seed)
+            counts[mb.layers[0].src_ids] += 1
+        return counts / runs
+
+    def test_sage_bulk_marginals_match_solo(self, small_adj):
+        sampler = SageSampler(include_dst=False)
+        batch = np.arange(16)
+        other = np.arange(16, 32)
+        runs = 300
+
+        solo = self._marginals(
+            small_adj, batch, runs,
+            lambda b, s: sampler.sample_bulk(
+                small_adj, [b], (3,), np.random.default_rng(s)
+            )[0],
+        )
+        bulk = self._marginals(
+            small_adj, batch, runs,
+            lambda b, s: sampler.sample_bulk(
+                small_adj, [b, other], (3,), np.random.default_rng(10_000 + s)
+            )[0],
+        )
+        # Compare only vertices with non-trivial probability.
+        active = (solo > 0.02) | (bulk > 0.02)
+        assert np.max(np.abs(solo[active] - bulk[active])) < 0.15
+
+    def test_ladies_bulk_marginals_match_solo(self, small_adj):
+        sampler = LadiesSampler()
+        batch = np.arange(16)
+        other = np.arange(16, 32)
+        runs = 300
+
+        solo = self._marginals(
+            small_adj, batch, runs,
+            lambda b, s: sampler.sample_bulk(
+                small_adj, [b], (8,), np.random.default_rng(s)
+            )[0],
+        )
+        bulk = self._marginals(
+            small_adj, batch, runs,
+            lambda b, s: sampler.sample_bulk(
+                small_adj, [b, other], (8,), np.random.default_rng(10_000 + s)
+            )[0],
+        )
+        active = (solo > 0.02) | (bulk > 0.02)
+        assert np.max(np.abs(solo[active] - bulk[active])) < 0.15
+
+    def test_bulk_output_order_matches_input(self, small_adj, rng):
+        batches = [rng.choice(small_adj.shape[0], 8, replace=False) for _ in range(5)]
+        out = SageSampler().sample_bulk(small_adj, batches, (3,), rng)
+        for mb, batch in zip(out, batches):
+            assert np.array_equal(mb.batch, batch)
+
+    def test_bulk_handles_heterogeneous_batch_sizes(self, small_adj, rng):
+        batches = [np.arange(4), np.arange(10, 40), np.arange(50, 51)]
+        out = SageSampler().sample_bulk(small_adj, batches, (3, 2), rng)
+        assert [len(mb.batch) for mb in out] == [4, 30, 1]

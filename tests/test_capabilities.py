@@ -1,0 +1,80 @@
+"""Table 2: the capability matrix the paper positions itself in.
+
+The paper's Table 2 claims its system is the only one combining (1) GPU
+sampling, (2) multi-node training without full replication, and (3) support
+for multiple sampler families.  These tests assert this codebase actually
+delivers each column.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.comm import Communicator, ProcessGrid
+from repro.core import FastGCNSampler, LadiesSampler, SageSampler
+from repro.distributed import partitioned_bulk_sampling
+from repro.partition import BlockRows
+from repro.pipeline import PipelineConfig, TrainingPipeline
+
+
+class TestTable2Capabilities:
+    def test_device_side_sampling(self, perf_graph):
+        """Column 1: sampling runs on (simulated) GPUs, not a host CPU.
+
+        All sampling time must be charged as device compute — host paths
+        (DRAM/PCIe) are only used by the Quiver-UVA and CPU baselines.
+        """
+        cfg = PipelineConfig(
+            p=4, c=2, fanout=(5, 3), batch_size=64, train_model=False
+        )
+        pipe = TrainingPipeline(perf_graph, cfg)
+        pipe.train_epoch()
+        # Sampling compute happened and the whole phase was device-side
+        # (the replicated algorithm's sampling has no comm component).
+        assert pipe.comm.clock.phase_seconds("sampling", "compute") > 0
+        assert pipe.comm.clock.phase_seconds("sampling", "comm") == 0
+
+    def test_multi_node_without_full_replication(self, perf_graph, batches):
+        """Column 2: the graph can be partitioned across devices spanning
+        nodes — no rank ever holds the whole adjacency matrix."""
+        comm = Communicator(8)  # 2 simulated nodes of 4 GPUs
+        grid = ProcessGrid(8, 2)
+        blocks = BlockRows.partition(perf_graph.adj, grid.n_rows)
+        assert all(b.nnz < perf_graph.adj.nnz for b in blocks.blocks)
+        samples, _ = partitioned_bulk_sampling(
+            comm, grid, SageSampler(), blocks,
+            [b % perf_graph.n for b in batches], (4, 2), seed=0,
+        )
+        assert len(samples) == len(batches)
+
+    @pytest.mark.parametrize(
+        "sampler_cls,fanout",
+        [(SageSampler, (4, 2)), (LadiesSampler, (16,)), (FastGCNSampler, (16,))],
+    )
+    def test_multiple_sampler_families(
+        self, sampler_cls, fanout, perf_graph, batches
+    ):
+        """Column 3: node-wise AND layer-wise samplers run in the same
+        framework, both locally and under the partitioned algorithm."""
+        rng = np.random.default_rng(0)
+        sampler = sampler_cls()
+        batches = [b % perf_graph.n for b in batches]
+        local = sampler.sample_bulk(perf_graph.adj, batches, fanout, rng)
+        assert len(local) == len(batches)
+        comm = Communicator(4)
+        grid = ProcessGrid(4, 2)
+        blocks = BlockRows.partition(perf_graph.adj, grid.n_rows)
+        dist, _ = partitioned_bulk_sampling(
+            comm, grid, sampler, blocks, batches, fanout, seed=0
+        )
+        assert len(dist) == len(batches)
+
+    def test_single_framework_one_abstraction(self):
+        """All samplers implement the same Algorithm-1 contract."""
+        from repro.core import MatrixSampler
+
+        for cls in (SageSampler, LadiesSampler, FastGCNSampler):
+            assert issubclass(cls, MatrixSampler)
+            assert callable(getattr(cls, "norm"))
+            assert callable(getattr(cls, "sample_bulk"))

@@ -1,0 +1,84 @@
+"""Command-line interface tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sample", "citeseer"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["train", "products"])
+        assert args.p == 4 and args.algorithm == "replicated"
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "perlmutter-like" in out
+        assert "TF/s" in out
+
+    def test_generate_roundtrip(self, tmp_path, capsys):
+        out_path = tmp_path / "g.npz"
+        code = main(
+            ["generate", "products", "--scale", "0.1", "--out", str(out_path)]
+        )
+        assert code == 0
+        from repro.graphs import load_graph
+
+        g = load_graph(out_path)
+        assert g.n > 0 and g.n_features == 100
+        assert "vertices" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("sampler", ["sage", "ladies", "fastgcn", "saint"])
+    def test_sample_all_samplers(self, sampler, capsys):
+        code = main(
+            [
+                "sample", "products", "--sampler", sampler,
+                "--scale", "0.1", "--batches", "2", "--batch-size", "8",
+                "--fanout", "3,2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sampled 2 minibatches" in out
+
+    def test_train(self, capsys):
+        code = main(
+            [
+                "train", "products", "--scale", "0.1", "--epochs", "2",
+                "--p", "2", "--batch-size", "16",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "test accuracy" in out
+        assert out.count("epoch") == 2
+
+    def test_train_partitioned(self, capsys):
+        code = main(
+            [
+                "train", "products", "--scale", "0.1", "--epochs", "1",
+                "--p", "4", "--c", "2", "--algorithm", "partitioned",
+                "--batch-size", "16",
+            ]
+        )
+        assert code == 0
+        assert "sim-time" in capsys.readouterr().out
+
+    def test_sweep(self, capsys):
+        code = main(["sweep", "products", "--gpus", "4,8"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sweep" in out and "total_s" in out

@@ -1,0 +1,186 @@
+"""Unit tests for the CSR matrix substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sparse import CSRMatrix, sprand
+
+
+class TestConstruction:
+    def test_from_coo_sorts_and_sums_duplicates(self):
+        m = CSRMatrix.from_coo(
+            rows=[1, 0, 1, 1], cols=[2, 1, 2, 0], vals=[1.0, 2.0, 3.0, 4.0],
+            shape=(2, 3),
+        )
+        assert m.nnz == 3
+        dense = m.to_dense()
+        assert dense[1, 2] == 4.0  # 1 + 3 summed
+        assert dense[0, 1] == 2.0
+        assert dense[1, 0] == 4.0
+        m.check()
+
+    def test_from_coo_default_values_are_ones(self):
+        m = CSRMatrix.from_coo([0, 1], [1, 0], None, (2, 2))
+        assert np.array_equal(m.data, [1.0, 1.0])
+
+    def test_from_coo_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            CSRMatrix.from_coo([0], [5], None, (2, 3))
+        with pytest.raises(ValueError):
+            CSRMatrix.from_coo([2], [0], None, (2, 3))
+        with pytest.raises(ValueError):
+            CSRMatrix.from_coo([-1], [0], None, (2, 3))
+
+    def test_from_coo_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            CSRMatrix.from_coo([0, 1], [0], None, (2, 2))
+
+    def test_from_dense_roundtrip(self, rng):
+        dense = rng.random((7, 5))
+        dense[dense < 0.6] = 0.0
+        m = CSRMatrix.from_dense(dense)
+        assert np.allclose(m.to_dense(), dense)
+        m.check()
+
+    def test_from_dense_rejects_1d(self):
+        with pytest.raises(ValueError):
+            CSRMatrix.from_dense(np.ones(4))
+
+    def test_zeros(self):
+        m = CSRMatrix.zeros((3, 4))
+        assert m.nnz == 0
+        assert m.shape == (3, 4)
+        m.check()
+
+    def test_identity(self):
+        m = CSRMatrix.identity(5)
+        assert np.allclose(m.to_dense(), np.eye(5))
+        m.check()
+
+    def test_scipy_roundtrip(self, rng):
+        m = sprand(20, 30, 0.1, rng)
+        back = CSRMatrix.from_scipy(m.to_scipy())
+        assert m.equal(back)
+
+
+class TestIntrospection:
+    def test_nnz_per_row_and_row_sums(self):
+        m = CSRMatrix.from_dense([[1.0, 2.0, 0.0], [0.0, 0.0, 0.0], [3.0, 0.0, 4.0]])
+        assert np.array_equal(m.nnz_per_row(), [2, 0, 2])
+        assert np.allclose(m.row_sums(), [3.0, 0.0, 7.0])
+
+    def test_row_access(self):
+        m = CSRMatrix.from_dense([[0.0, 5.0], [6.0, 0.0]])
+        cols, vals = m.row(0)
+        assert np.array_equal(cols, [1]) and np.allclose(vals, [5.0])
+        with pytest.raises(IndexError):
+            m.row(2)
+
+    def test_row_ids(self, rng):
+        m = sprand(15, 15, 0.2, rng)
+        rows, cols, _ = m.to_coo()
+        assert np.array_equal(rows, m.row_ids())
+
+    def test_check_detects_corruption(self, rng):
+        m = sprand(10, 10, 0.3, rng)
+        bad = m.copy()
+        bad.indices[0] = 99
+        with pytest.raises(ValueError):
+            bad.check()
+        bad2 = m.copy()
+        bad2.indptr[-1] += 1
+        with pytest.raises(ValueError):
+            bad2.check()
+
+
+class TestStructuralOps:
+    def test_transpose(self, rng):
+        m = sprand(12, 18, 0.15, rng)
+        assert np.allclose(m.transpose().to_dense(), m.to_dense().T)
+        m.transpose().check()
+
+    def test_transpose_involution(self, rng):
+        m = sprand(10, 10, 0.2, rng)
+        assert m.transpose().transpose().equal(m)
+
+    def test_extract_rows_order_and_duplicates(self, rng):
+        m = sprand(10, 8, 0.3, rng)
+        sel = np.array([3, 3, 0, 9])
+        sub = m.extract_rows(sel)
+        assert np.allclose(sub.to_dense(), m.to_dense()[sel])
+        sub.check()
+
+    def test_extract_rows_out_of_range(self, rng):
+        m = sprand(5, 5, 0.2, rng)
+        with pytest.raises(IndexError):
+            m.extract_rows([5])
+
+    def test_row_block(self, rng):
+        m = sprand(20, 10, 0.25, rng)
+        blk = m.row_block(5, 12)
+        assert np.allclose(blk.to_dense(), m.to_dense()[5:12])
+        blk.check()
+        with pytest.raises(IndexError):
+            m.row_block(12, 5)
+
+    def test_row_block_empty(self, rng):
+        m = sprand(10, 10, 0.2, rng)
+        blk = m.row_block(4, 4)
+        assert blk.shape == (0, 10) and blk.nnz == 0
+
+    def test_select_columns(self, rng):
+        m = sprand(8, 10, 0.4, rng)
+        mask = np.zeros(10, dtype=bool)
+        mask[[1, 4, 7]] = True
+        sub = m.select_columns(mask)
+        assert np.allclose(sub.to_dense(), m.to_dense()[:, [1, 4, 7]])
+        sub.check()
+
+    def test_select_columns_bad_mask(self, rng):
+        m = sprand(4, 6, 0.5, rng)
+        with pytest.raises(ValueError):
+            m.select_columns(np.ones(3, dtype=bool))
+
+    def test_nonzero_columns(self):
+        m = CSRMatrix.from_coo([0, 1, 1], [5, 2, 5], None, (2, 8))
+        assert np.array_equal(m.nonzero_columns(), [2, 5])
+
+    def test_scale_rows(self, rng):
+        m = sprand(6, 6, 0.4, rng)
+        f = rng.random(6)
+        assert np.allclose(m.scale_rows(f).to_dense(), m.to_dense() * f[:, None])
+
+    def test_prune_zeros(self):
+        m = CSRMatrix.from_coo([0, 0, 1], [0, 1, 1], [0.0, 2.0, -0.0], (2, 2))
+        pruned = m.prune_zeros()
+        assert pruned.nnz == 1
+        assert pruned.to_dense()[0, 1] == 2.0
+
+
+class TestArithmetic:
+    def test_add(self, rng):
+        a = sprand(9, 9, 0.2, rng)
+        b = sprand(9, 9, 0.2, rng)
+        assert np.allclose(a.add(b).to_dense(), a.to_dense() + b.to_dense())
+
+    def test_add_shape_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            sprand(3, 3, 0.5, rng).add(sprand(4, 3, 0.5, rng))
+
+    def test_matmul_operator_sparse_and_dense(self, rng):
+        a = sprand(5, 6, 0.4, rng)
+        b = sprand(6, 4, 0.4, rng)
+        x = rng.random((6, 3))
+        assert np.allclose((a @ b).to_dense(), a.to_dense() @ b.to_dense())
+        assert np.allclose(a @ x, a.to_dense() @ x)
+
+    def test_equal_ignores_explicit_zeros(self):
+        a = CSRMatrix.from_coo([0], [0], [1.0], (2, 2))
+        b = CSRMatrix.from_coo([0, 1], [0, 1], [1.0, 0.0], (2, 2))
+        assert a.equal(b)
+
+    def test_repr(self, rng):
+        m = sprand(3, 4, 0.5, rng)
+        assert "CSRMatrix" in repr(m) and "shape=(3, 4)" in repr(m)

@@ -1,0 +1,320 @@
+"""GNN substrate: numerical gradient checks, losses, optimizers, metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import LayerSample, MinibatchSample, SageSampler
+from repro.gnn import (
+    Adam,
+    Dropout,
+    GCNConv,
+    GNNModel,
+    Linear,
+    ReLU,
+    SGD,
+    accuracy,
+    full_graph_sample,
+    glorot,
+    macro_f1,
+    propagation_flops,
+    softmax,
+    softmax_cross_entropy,
+)
+from repro.sparse import CSRMatrix, sprand
+
+
+def numeric_grad(f, x, eps=1e-6):
+    """Central-difference gradient of scalar f at array x."""
+    g = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        old = x[idx]
+        x[idx] = old + eps
+        hi = f()
+        x[idx] = old - eps
+        lo = f()
+        x[idx] = old
+        g[idx] = (hi - lo) / (2 * eps)
+        it.iternext()
+    return g
+
+
+def make_layer(rng, n_dst=3, n_src=5, include_dst=True):
+    """A small random bipartite LayerSample with dst ⊆ src when asked."""
+    dst = np.array([2, 4, 6])[:n_dst]
+    src = np.union1d(dst, np.array([1, 3, 9]))[:n_src] if include_dst else np.arange(
+        10, 10 + n_src
+    )
+    dense = (rng.random((n_dst, len(src))) < 0.6).astype(float)
+    dense[0, 0] = 1.0  # no empty first row
+    return LayerSample(CSRMatrix.from_dense(dense), src, dst)
+
+
+class TestLinear:
+    def test_forward(self, rng):
+        lin = Linear(4, 3, rng)
+        x = rng.random((5, 4))
+        out = lin.forward(x)
+        assert np.allclose(out, x @ lin.params["W"] + lin.params["b"])
+
+    def test_gradcheck(self, rng):
+        lin = Linear(3, 2, rng)
+        x = rng.random((4, 3))
+        target = rng.random((4, 2))
+
+        def loss():
+            return 0.5 * np.sum((lin.forward(x) - target) ** 2)
+
+        lin.zero_grad()
+        dy = lin.forward(x) - target
+        dx = lin.backward(dy)
+        for name in ("W", "b"):
+            num = numeric_grad(loss, lin.params[name])
+            assert np.allclose(lin.grads[name], num, atol=1e-5), name
+        num_dx = numeric_grad(loss, x)
+        assert np.allclose(dx, num_dx, atol=1e-5)
+
+    def test_backward_before_forward(self, rng):
+        with pytest.raises(RuntimeError):
+            Linear(2, 2, rng).backward(np.ones((1, 2)))
+
+    def test_glorot_range(self, rng):
+        w = glorot((100, 100), rng)
+        limit = np.sqrt(6 / 200)
+        assert np.all(np.abs(w) <= limit)
+
+
+class TestActivations:
+    def test_relu(self):
+        r = ReLU()
+        x = np.array([[-1.0, 2.0], [0.0, -3.0]])
+        assert np.allclose(r.forward(x), [[0, 2], [0, 0]])
+        assert np.allclose(r.backward(np.ones_like(x)), [[0, 1], [0, 0]])
+        with pytest.raises(RuntimeError):
+            ReLU().backward(x)
+
+    def test_dropout_training_vs_eval(self, rng):
+        d = Dropout(0.5, rng)
+        x = np.ones((100, 10))
+        out = d.forward(x, training=True)
+        kept = out > 0
+        assert 0.2 < kept.mean() < 0.8
+        assert np.allclose(out[kept], 2.0)  # inverted scaling
+        assert np.allclose(d.forward(x, training=False), x)
+
+    def test_dropout_backward_uses_mask(self, rng):
+        d = Dropout(0.3, rng)
+        x = np.ones((50, 4))
+        out = d.forward(x)
+        back = d.backward(np.ones_like(x))
+        assert np.allclose(back, out)
+
+    def test_dropout_validation(self, rng):
+        with pytest.raises(ValueError):
+            Dropout(1.0, rng)
+
+
+class TestConvGradients:
+    @pytest.mark.parametrize("conv_cls", [GCNConv])
+    def test_gcn_gradcheck(self, conv_cls, rng):
+        layer = make_layer(rng, include_dst=False)
+        conv = conv_cls(4, 3, rng)
+        h = rng.random((layer.n_src, 4))
+        target = rng.random((layer.n_dst, 3))
+
+        def loss():
+            return 0.5 * np.sum((conv.forward(layer, h) - target) ** 2)
+
+        conv.zero_grad()
+        dy = conv.forward(layer, h) - target
+        dh = conv.backward(dy)
+        for name in conv.params:
+            num = numeric_grad(loss, conv.params[name])
+            assert np.allclose(conv.grads[name], num, atol=1e-5), name
+        assert np.allclose(dh, numeric_grad(loss, h), atol=1e-5)
+
+    def test_sage_gradcheck_with_self_term(self, rng):
+        from repro.gnn import SAGEConv
+
+        layer = make_layer(rng, include_dst=True)
+        conv = SAGEConv(4, 3, rng)
+        h = rng.random((layer.n_src, 4))
+        target = rng.random((layer.n_dst, 3))
+
+        def loss():
+            return 0.5 * np.sum((conv.forward(layer, h) - target) ** 2)
+
+        conv.zero_grad()
+        dy = conv.forward(layer, h) - target
+        dh = conv.backward(dy)
+        for name in conv.params:
+            num = numeric_grad(loss, conv.params[name])
+            assert np.allclose(conv.grads[name], num, atol=1e-5), name
+        assert np.allclose(dh, numeric_grad(loss, h), atol=1e-5)
+
+    def test_sage_without_dst_drops_self_term(self, rng):
+        from repro.gnn import SAGEConv
+
+        layer = make_layer(rng, include_dst=False)
+        conv = SAGEConv(4, 3, rng)
+        h = rng.random((layer.n_src, 4))
+        out = conv.forward(layer, h)
+        # Output independent of W_self when no self positions exist.
+        conv.params["W_self"][...] = 99.0
+        assert np.allclose(conv.forward(layer, h), out)
+
+    def test_shape_validation(self, rng):
+        from repro.gnn import SAGEConv
+
+        layer = make_layer(rng)
+        conv = SAGEConv(4, 3, rng)
+        with pytest.raises(ValueError):
+            conv.forward(layer, np.ones((layer.n_src + 1, 4)))
+
+
+class TestLossAndMetrics:
+    def test_softmax_rows_sum_to_one(self, rng):
+        p = softmax(rng.random((6, 4)) * 10)
+        assert np.allclose(p.sum(axis=1), 1.0)
+
+    def test_cross_entropy_gradcheck(self, rng):
+        logits = rng.random((5, 3))
+        labels = np.array([0, 2, 1, 1, 0])
+
+        def loss():
+            return softmax_cross_entropy(logits, labels)[0]
+
+        _, grad = softmax_cross_entropy(logits.copy(), labels)
+        num = numeric_grad(loss, logits, eps=1e-6)
+        assert np.allclose(grad, num, atol=1e-5)
+
+    def test_cross_entropy_perfect_prediction(self):
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+        loss, _ = softmax_cross_entropy(logits, np.array([0, 1]))
+        assert loss < 1e-6
+
+    def test_cross_entropy_validation(self):
+        with pytest.raises(ValueError):
+            softmax_cross_entropy(np.ones((2, 2)), np.array([0]))
+        with pytest.raises(ValueError):
+            softmax_cross_entropy(np.ones((1, 2)), np.array([5]))
+        with pytest.raises(ValueError):
+            softmax_cross_entropy(np.ones(3), np.array([0]))
+
+    def test_accuracy(self):
+        logits = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 0.0]])
+        assert accuracy(logits, np.array([0, 1, 1])) == pytest.approx(2 / 3)
+        assert accuracy(np.empty((0, 2)), np.empty(0, dtype=int)) == 0.0
+
+    def test_macro_f1_perfect(self):
+        logits = np.eye(3)
+        assert macro_f1(logits, np.arange(3)) == 1.0
+
+
+class TestOptimizers:
+    def test_sgd_plain_step(self):
+        opt = SGD(lr=0.1)
+        params = {"w": np.array([1.0, 2.0])}
+        opt.step(params, {"w": np.array([1.0, 1.0])})
+        assert np.allclose(params["w"], [0.9, 1.9])
+
+    def test_sgd_momentum_accumulates(self):
+        opt = SGD(lr=0.1, momentum=0.9)
+        params = {"w": np.array([0.0])}
+        g = {"w": np.array([1.0])}
+        opt.step(params, g)
+        first = params["w"].copy()
+        opt.step(params, g)
+        assert (first - params["w"]) > -first  # second step larger
+
+    def test_sgd_validation(self):
+        with pytest.raises(ValueError):
+            SGD(lr=0.0)
+        with pytest.raises(ValueError):
+            SGD(lr=0.1, momentum=1.0)
+
+    def test_adam_converges_on_quadratic(self):
+        opt = Adam(lr=0.1)
+        params = {"w": np.array([5.0])}
+        for _ in range(200):
+            opt.step(params, {"w": 2 * params["w"]})
+        assert abs(params["w"][0]) < 1e-2
+
+    def test_adam_weight_decay(self):
+        opt = Adam(lr=0.01, weight_decay=0.1)
+        params = {"w": np.array([1.0])}
+        opt.step(params, {"w": np.array([0.0])})
+        assert params["w"][0] < 1.0
+
+
+class TestModel:
+    def test_forward_shapes(self, small_adj, rng):
+        sampler = SageSampler()
+        batch = rng.choice(small_adj.shape[0], 16, replace=False)
+        mb = sampler.sample_bulk(small_adj, [batch], (4, 3), rng)[0]
+        model = GNNModel(8, 16, 5, 2, rng)
+        x = rng.random((mb.input_frontier.size, 8))
+        logits = model.forward(mb, x)
+        assert logits.shape == (16, 5)
+
+    def test_model_gradcheck(self, rng):
+        layer0 = make_layer(rng, include_dst=True)
+        # Chain a second layer whose sources are layer0's destinations.
+        dense = (rng.random((2, layer0.n_dst)) < 0.7).astype(float)
+        dense[0, 0] = 1.0
+        layer1 = LayerSample(
+            CSRMatrix.from_dense(dense), layer0.dst_ids, layer0.dst_ids[:2]
+        )
+        mb = MinibatchSample(layer0.dst_ids[:2], [layer0, layer1])
+        model = GNNModel(3, 4, 2, 2, rng, conv="gcn")
+        x = rng.random((layer0.n_src, 3))
+        labels = np.array([0, 1])
+
+        def loss():
+            return softmax_cross_entropy(model.forward(mb, x), labels)[0]
+
+        model.zero_grad()
+        logits = model.forward(mb, x)
+        _, dl = softmax_cross_entropy(logits, labels)
+        model.backward(dl)
+        grads = model.gradients()
+        for name, p in model.parameters().items():
+            num = numeric_grad(loss, p)
+            assert np.allclose(grads[name], num, atol=1e-5), name
+
+    def test_layer_count_validation(self, small_adj, rng):
+        sampler = SageSampler()
+        batch = rng.choice(small_adj.shape[0], 8, replace=False)
+        mb = sampler.sample_bulk(small_adj, [batch], (4,), rng)[0]
+        model = GNNModel(8, 16, 5, 2, rng)
+        with pytest.raises(ValueError):
+            model.forward(mb, rng.random((mb.input_frontier.size, 8)))
+
+    def test_set_parameters_roundtrip(self, rng):
+        m1 = GNNModel(4, 8, 3, 2, np.random.default_rng(0))
+        m2 = GNNModel(4, 8, 3, 2, np.random.default_rng(1))
+        m2.set_parameters(m1.parameters())
+        for a, b in zip(m1.parameters().values(), m2.parameters().values()):
+            assert np.allclose(a, b)
+
+    def test_full_graph_sample(self, small_adj):
+        mb = full_graph_sample(small_adj, 3)
+        assert mb.num_layers == 3
+        assert mb.layers[0].n_src == small_adj.shape[0]
+
+    def test_propagation_flops_positive(self, small_adj, rng):
+        batch = rng.choice(small_adj.shape[0], 8, replace=False)
+        mb = SageSampler().sample_bulk(small_adj, [batch], (4, 2), rng)[0]
+        f = propagation_flops(mb, [16, 8, 4])
+        assert f > 0
+        with pytest.raises(ValueError):
+            propagation_flops(mb, [16, 8])
+
+    def test_invalid_conv(self, rng):
+        with pytest.raises(ValueError):
+            GNNModel(4, 8, 3, 2, rng, conv="transformer")
+        with pytest.raises(ValueError):
+            GNNModel(4, 8, 3, 0, rng)

@@ -1,0 +1,144 @@
+"""Cross-module integration: scaling shapes, figure mechanics, end-to-end runs.
+
+Each test here exercises the mechanism behind one of the paper's headline
+observations, at test-size workloads (the full reproductions live in
+benchmarks/).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import QuiverBaseline, QuiverConfig
+from repro.bench import SIM_WORKLOADS, load_bench_graph, run_pipeline_epoch
+from repro.comm import Communicator, ProcessGrid
+from repro.core import LadiesSampler, SageSampler
+from repro.distributed import partitioned_bulk_sampling
+from repro.partition import BlockRows
+from repro.pipeline import PipelineConfig, TrainingPipeline
+
+
+@pytest.fixture(scope="module")
+def products_graph():
+    wl = SIM_WORKLOADS["products"]
+    return wl, load_bench_graph(wl)
+
+
+class TestFigure4Mechanics:
+    def test_pipeline_scales_with_p(self, products_graph):
+        """Per-epoch time must drop as GPUs are added (parallel efficiency)."""
+        wl, g = products_graph
+        totals = {}
+        for p in (4, 16):
+            stats, c, k = run_pipeline_epoch(g, wl, p=p)
+            totals[p] = stats.total
+        assert totals[16] < totals[4]
+        # At least 35% parallel efficiency over the 4x GPU increase.
+        assert totals[4] / totals[16] > 1.4
+
+    def test_speedup_over_quiver_grows_with_p(self, products_graph):
+        """The paper's gap widens with GPU count (2.5x at 16 on Products)."""
+        wl, g = products_graph
+        from repro.bench.harness import work_scale_for
+
+        scale = work_scale_for(wl, g)
+        from repro.bench.harness import workload_hidden
+
+        speedups = {}
+        for p in (4, 16):
+            q = QuiverBaseline(
+                g,
+                QuiverConfig(
+                    p=p, fanout=wl.fanout, batch_size=wl.batch_size,
+                    work_scale=scale, hidden=workload_hidden(),
+                ),
+            ).train_epoch()
+            ours, _, _ = run_pipeline_epoch(g, wl, p=p)
+            speedups[p] = q.total / ours.total
+        assert speedups[16] > speedups[4]
+        assert speedups[16] > 1.0
+
+
+class TestFigure6Mechanics:
+    def test_no_replication_slower(self, products_graph):
+        wl, g = products_graph
+        rep, _, _ = run_pipeline_epoch(g, wl, p=8, c=4)
+        norep, _, _ = run_pipeline_epoch(g, wl, p=8, c=1)
+        assert norep.feature_fetch > rep.feature_fetch
+
+
+class TestFigure7Mechanics:
+    def test_partitioned_sampling_scales(self):
+        """Figure 7 top: partitioned SAGE sampling speeds up from p=16 to
+        p=64 when c grows alongside (the paper grows c with p).
+
+        Uses the papers-sim workload: the paper's partitioned experiments
+        run on its large sparse graphs, where the sampled frontier is a
+        small fraction of V and sparsity-awareness pays off.  Time is the
+        sum of phase maxima (the paper's stacked bars).
+        """
+        wl = SIM_WORKLOADS["papers"]
+        g = load_bench_graph(wl)
+        from repro.bench.harness import work_scale_for
+
+        scale = work_scale_for(wl, g)
+        rng = np.random.default_rng(1)
+        batches = [rng.choice(g.n, 32, replace=False) for _ in range(32)]
+        times = {}
+        for p, c in ((16, 2), (64, 4)):
+            comm = Communicator(p, work_scale=scale)
+            grid = ProcessGrid(p, c)
+            blocks = BlockRows.partition(g.adj, grid.n_rows)
+            partitioned_bulk_sampling(
+                comm, grid, SageSampler(), blocks, batches, (4, 3), seed=0
+            )
+            times[p] = sum(comm.clock.breakdown().values())
+        assert times[64] < times[16]
+
+    def test_ladies_extraction_dominates(self, products_graph):
+        """Section 8.2.2: LADIES time is dominated by column extraction."""
+        wl, g = products_graph
+        from repro.bench.harness import work_scale_for
+
+        comm = Communicator(16, work_scale=work_scale_for(wl, g))
+        grid = ProcessGrid(16, 4)
+        blocks = BlockRows.partition(g.adj, grid.n_rows)
+        batches = g.make_batches(wl.batch_size)
+        partitioned_bulk_sampling(
+            comm, grid, LadiesSampler(), blocks, batches,
+            (wl.ladies_width,), seed=0,
+        )
+        bd = comm.clock.breakdown()
+        assert bd["extraction"] > bd["sampling"]
+
+
+class TestEndToEnd:
+    def test_full_training_run_all_samplers(self, labeled_graph):
+        """Every sampler trains end to end and beats random guessing."""
+        chance = 1.0 / labeled_graph.n_classes
+        for sampler, fanout in (
+            ("sage", (5, 3)),
+            ("ladies", (64,)),
+            ("fastgcn", (64,)),
+        ):
+            cfg = PipelineConfig(
+                p=2, c=1, sampler=sampler, fanout=fanout, batch_size=32,
+                hidden=32, lr=0.01, seed=1,
+            )
+            pipe = TrainingPipeline(labeled_graph, cfg)
+            for e in range(5):
+                pipe.train_epoch(e)
+            acc = pipe.evaluate("test")
+            assert acc > 2 * chance, sampler
+
+    def test_bench_harness_workloads_load(self):
+        for name, wl in SIM_WORKLOADS.items():
+            g = load_bench_graph(wl)
+            assert g.num_batches(wl.batch_size) == wl.n_batches, name
+
+    def test_harness_auto_c_k(self, products_graph):
+        wl, g = products_graph
+        stats, c, k = run_pipeline_epoch(g, wl, p=8)
+        assert c >= 1 and 1 <= k <= wl.n_batches
+        assert stats.total > 0

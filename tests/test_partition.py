@@ -1,0 +1,121 @@
+"""Partitioning: 1D block rows, row ownership, the 1.5D feature store."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.comm import Communicator, ProcessGrid
+from repro.partition import BlockRows, FeatureStore, split_rows
+from repro.sparse import sprand
+
+
+class TestSplitRows:
+    def test_even(self):
+        assert np.array_equal(split_rows(12, 4), [0, 3, 6, 9, 12])
+
+    def test_remainder_to_leading_blocks(self):
+        assert np.array_equal(split_rows(10, 4), [0, 3, 6, 8, 10])
+
+    def test_more_blocks_than_rows(self):
+        bounds = split_rows(2, 4)
+        assert bounds[-1] == 2 and len(bounds) == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            split_rows(5, 0)
+        with pytest.raises(ValueError):
+            split_rows(-1, 2)
+
+
+class TestBlockRows:
+    def test_partition_roundtrip(self, rng):
+        m = sprand(37, 20, 0.2, rng)
+        br = BlockRows.partition(m, 5)
+        assert br.n_blocks == 5
+        assert br.to_matrix().equal(m)
+
+    def test_owner_lookup(self, rng):
+        m = sprand(10, 10, 0.3, rng)
+        br = BlockRows.partition(m, 3)  # sizes 4,3,3
+        assert br.owner_of_row(0) == 0
+        assert br.owner_of_row(3) == 0
+        assert br.owner_of_row(4) == 1
+        assert br.owner_of_row(9) == 2
+        with pytest.raises(IndexError):
+            br.owner_of_row(10)
+
+    def test_owners_vectorized(self, rng):
+        m = sprand(20, 20, 0.2, rng)
+        br = BlockRows.partition(m, 4)
+        rows = np.arange(20)
+        owners = br.owners_of_rows(rows)
+        assert np.array_equal(
+            owners, [br.owner_of_row(int(r)) for r in rows]
+        )
+
+    def test_blocks_have_local_rows_global_cols(self, rng):
+        m = sprand(12, 9, 0.3, rng)
+        br = BlockRows.partition(m, 3)
+        for i, blk in enumerate(br.blocks):
+            lo, hi = br.starts[i], br.starts[i + 1]
+            assert np.allclose(blk.to_dense(), m.to_dense()[lo:hi])
+
+
+class TestFeatureStore:
+    def _setup(self, p, c, n=64, f=8, seed=0):
+        rng = np.random.default_rng(seed)
+        comm = Communicator(p)
+        grid = ProcessGrid(p, c)
+        feats = rng.standard_normal((n, f))
+        return comm, grid, feats, FeatureStore(feats, grid)
+
+    @pytest.mark.parametrize("p,c", [(4, 1), (4, 2), (8, 2), (8, 4)])
+    def test_fetch_returns_exact_rows(self, p, c, rng):
+        comm, grid, feats, store = self._setup(p, c)
+        needed = [rng.choice(64, 12, replace=False) for _ in range(p)]
+        got = store.fetch(comm, needed)
+        for r in range(p):
+            assert np.allclose(got[r], feats[needed[r]])
+
+    def test_fetch_handles_duplicates_and_empty(self, rng):
+        comm, grid, feats, store = self._setup(4, 2)
+        needed = [
+            np.array([5, 5, 3]),
+            np.empty(0, dtype=np.int64),
+            np.array([63]),
+            np.arange(10),
+        ]
+        got = store.fetch(comm, needed)
+        assert np.allclose(got[0], feats[[5, 5, 3]])
+        assert got[1].shape == (0, 8)
+        assert np.allclose(got[2], feats[[63]])
+
+    def test_fetch_volume_decreases_with_c(self, rng):
+        """The paper's Figure 6 mechanism: feature-fetch time scales with c."""
+        times = {}
+        for c in (1, 2, 4):
+            comm, grid, feats, store = self._setup(8, c, n=512, f=64)
+            needed = [rng.choice(512, 128, replace=False) for _ in range(8)]
+            with comm.phase("feature_fetch"):
+                store.fetch(comm, needed)
+            times[c] = comm.clock.phase_seconds("feature_fetch")
+        assert times[4] < times[2] < times[1]
+
+    def test_owner_row(self):
+        comm, grid, feats, store = self._setup(4, 2)  # 2 block rows of 32
+        assert store.owner_row(np.array([0, 31, 32, 63])).tolist() == [0, 0, 1, 1]
+        assert np.array_equal(store.local_rows(1), np.arange(32, 64))
+
+    def test_wire_bytes_uses_fp32(self):
+        comm, grid, feats, store = self._setup(4, 2)
+        assert store.wire_bytes(10) == 10 * 8 * 4
+
+    def test_validation(self, rng):
+        comm = Communicator(4)
+        grid = ProcessGrid(4, 2)
+        with pytest.raises(ValueError):
+            FeatureStore(np.ones(5), grid)
+        store = FeatureStore(np.ones((10, 2)), grid)
+        with pytest.raises(ValueError):
+            store.fetch(comm, [np.arange(2)])  # wrong number of requests

@@ -1,0 +1,125 @@
+"""Property-based tests (hypothesis) on the sparse substrate's invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.sparse import CSRMatrix, row_normalize, spgemm, spmm, vstack
+
+
+@st.composite
+def coo_matrices(draw, max_dim: int = 12, max_nnz: int = 40):
+    """Random COO triplets (possibly with duplicates) plus a shape."""
+    n_rows = draw(st.integers(1, max_dim))
+    n_cols = draw(st.integers(1, max_dim))
+    nnz = draw(st.integers(0, max_nnz))
+    rows = draw(
+        st.lists(st.integers(0, n_rows - 1), min_size=nnz, max_size=nnz)
+    )
+    cols = draw(
+        st.lists(st.integers(0, n_cols - 1), min_size=nnz, max_size=nnz)
+    )
+    vals = draw(
+        st.lists(
+            st.floats(-10, 10, allow_nan=False, allow_infinity=False),
+            min_size=nnz,
+            max_size=nnz,
+        )
+    )
+    return np.array(rows), np.array(cols), np.array(vals), (n_rows, n_cols)
+
+
+@st.composite
+def csr_matrices(draw, max_dim: int = 12, max_nnz: int = 40):
+    rows, cols, vals, shape = draw(coo_matrices(max_dim, max_nnz))
+    return CSRMatrix.from_coo(rows, cols, vals, shape)
+
+
+@given(coo_matrices())
+@settings(max_examples=60, deadline=None)
+def test_from_coo_matches_dense_accumulation(args):
+    rows, cols, vals, shape = args
+    m = CSRMatrix.from_coo(rows, cols, vals, shape)
+    m.check()
+    ref = np.zeros(shape)
+    np.add.at(ref, (rows.astype(int), cols.astype(int)), vals)
+    assert np.allclose(m.to_dense(), ref)
+
+
+@given(csr_matrices())
+@settings(max_examples=60, deadline=None)
+def test_transpose_involution(m):
+    assert m.transpose().transpose().equal(m)
+    assert np.allclose(m.transpose().to_dense(), m.to_dense().T)
+
+
+@given(csr_matrices(max_dim=8), csr_matrices(max_dim=8))
+@settings(max_examples=60, deadline=None)
+def test_spgemm_matches_dense(a, b):
+    if a.shape[1] != b.shape[0]:
+        # Pad/truncate b's row space so the product is defined.
+        rows, cols, vals = b.to_coo()
+        keep = rows < a.shape[1]
+        b = CSRMatrix.from_coo(
+            rows[keep], cols[keep], vals[keep], (a.shape[1], b.shape[1])
+        )
+    out = spgemm(a, b)
+    out.check()
+    assert np.allclose(out.to_dense(), a.to_dense() @ b.to_dense(), atol=1e-9)
+
+
+@given(csr_matrices(max_dim=10), st.integers(1, 5))
+@settings(max_examples=60, deadline=None)
+def test_spmm_matches_dense(a, width):
+    x = np.linspace(-1, 1, a.shape[1] * width).reshape(a.shape[1], width)
+    assert np.allclose(spmm(a, x), a.to_dense() @ x, atol=1e-9)
+
+
+@given(st.lists(csr_matrices(max_dim=6), min_size=1, max_size=4))
+@settings(max_examples=40, deadline=None)
+def test_vstack_preserves_blocks(mats):
+    n_cols = mats[0].shape[1]
+    mats = [
+        m if m.shape[1] == n_cols else CSRMatrix.zeros((m.shape[0], n_cols))
+        for m in mats
+    ]
+    stacked = vstack(mats)
+    stacked.check()
+    offset = 0
+    for m in mats:
+        assert stacked.row_block(offset, offset + m.shape[0]).equal(m)
+        offset += m.shape[0]
+
+
+@given(csr_matrices())
+@settings(max_examples=60, deadline=None)
+def test_row_normalize_is_stochastic_or_empty(m):
+    # Normalization needs non-negative weights, as in sampling use.
+    m = CSRMatrix(m.indptr, m.indices, np.abs(m.data), m.shape)
+    sums = row_normalize(m).row_sums()
+    for i, s in enumerate(sums):
+        if m.row(i)[1].sum() > 0:
+            assert abs(s - 1.0) < 1e-9
+        else:
+            assert abs(s) < 1e-12
+
+
+@given(csr_matrices(max_dim=10))
+@settings(max_examples=60, deadline=None)
+def test_extract_rows_agrees_with_dense_indexing(m):
+    rows = np.arange(m.shape[0] - 1, -1, -1)  # reversed order
+    sub = m.extract_rows(rows)
+    assert np.allclose(sub.to_dense(), m.to_dense()[rows])
+
+
+@given(csr_matrices(max_dim=10))
+@settings(max_examples=60, deadline=None)
+def test_add_commutes(m):
+    other = CSRMatrix.from_coo(
+        m.row_ids(), m.indices, -0.5 * m.data, m.shape
+    )
+    left = m.add(other).to_dense()
+    right = other.add(m).to_dense()
+    assert np.allclose(left, right)
+    assert np.allclose(left, 0.5 * m.to_dense())
