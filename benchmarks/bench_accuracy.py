@@ -16,7 +16,8 @@ import pytest
 
 from repro.bench import format_table
 from repro.graphs import load_dataset
-from repro.pipeline import PipelineConfig, TrainingPipeline
+from repro.api import RunConfig
+from repro.pipeline import TrainingPipeline
 
 EPOCHS = 6
 
@@ -31,7 +32,7 @@ def accuracy_graph():
 
 
 def _train(graph, k, seed=0):
-    cfg = PipelineConfig(
+    cfg = RunConfig(
         p=4, c=2, fanout=(5, 3, 2), batch_size=32, hidden=32, lr=0.01,
         k=k, seed=seed,
     )
@@ -73,7 +74,7 @@ def test_sampler_families_reach_parity(benchmark, record_result, accuracy_graph)
     def run():
         out = {}
         for sampler, fanout in (("sage", (5, 3, 2)), ("ladies", (64,))):
-            cfg = PipelineConfig(
+            cfg = RunConfig(
                 p=2, c=1, sampler=sampler, fanout=fanout, batch_size=32,
                 hidden=32, lr=0.01, seed=3,
             )

@@ -1,61 +1,54 @@
-"""Quickstart: matrix-based bulk sampling and minibatch GNN training.
+"""Quickstart: the repro.api facade in a dozen lines.
 
-Generates a small synthetic node-classification graph (a stand-in for
-ogbn-products), samples every minibatch of an epoch in ONE bulk call with
-the matrix-based GraphSAGE sampler, trains a 2-layer SAGE model, and
-reports test accuracy.
+Builds a :class:`repro.api.RunConfig` naming everything by registry key
+(dataset, sampler, execution algorithm), hands it to an
+:class:`repro.api.Engine`, trains, and evaluates.  The same config
+round-trips through JSON — the printed file reproduces this exact run via
+``python -m repro train --config quickstart.json``.
+
+The paper's trick is still underneath: every epoch's minibatches are
+sampled in ONE bulk call (per-batch matrices stacked per Equation 1, every
+kernel run once over the stack); the Engine just owns the plumbing.
 
 Run:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.core import SageSampler
-from repro.gnn import Adam, GNNModel, accuracy, full_graph_sample, softmax_cross_entropy
-from repro.graphs import load_dataset
+from repro.api import Engine, RunConfig
 
 
 def main() -> None:
-    rng = np.random.default_rng(0)
-
-    # A planted-community graph so the labels are actually learnable.
-    graph = load_dataset(
-        "products", scale=0.5, seed=7, with_labels=True, n_classes=8
+    cfg = RunConfig(
+        dataset="products",       # registry key -> planted-label stand-in
+        scale=0.5,
+        train_split=0.5,
+        p=1, c=1,
+        algorithm="single",       # one device; try "replicated" with p=4
+        sampler="sage",           # any repro.api.SAMPLERS key
+        fanout=(10, 5),
+        batch_size=64,
+        hidden=32,
+        lr=0.01,
+        epochs=8,
+        seed=7,
+        dataset_kwargs={"with_labels": True, "n_classes": 8},
     )
-    graph.train_idx = np.arange(0, graph.n, 2)
-    print(f"graph: {graph.n} vertices, {graph.m} edges, "
-          f"{graph.n_features} features, {graph.n_classes} classes")
 
-    sampler = SageSampler()  # node-wise sampling, Algorithm 1 instantiation
-    model = GNNModel(graph.n_features, 32, graph.n_classes, n_layers=2, rng=rng)
-    optimizer = Adam(lr=0.01)
+    engine = Engine(cfg)
+    g = engine.graph
+    print(f"graph: {g.n} vertices, {g.m} edges, "
+          f"{g.n_features} features, {g.n_classes} classes")
 
-    batch_size, fanout = 64, (10, 5)
-    for epoch in range(8):
-        batches = graph.make_batches(batch_size, rng)
-        # THE paper's trick: all minibatches of the epoch sampled in one
-        # bulk call — the per-batch matrices are stacked (Equation 1) and
-        # every kernel runs once over the stack.
-        samples = sampler.sample_bulk(graph.adj, batches, fanout, rng)
+    for epoch in range(cfg.epochs):
+        stats = engine.train_epoch(epoch)
+        print(f"epoch {epoch}: loss {stats.loss:.4f}")
 
-        epoch_loss = 0.0
-        for mb in samples:
-            x = graph.features[mb.input_frontier]
-            logits = model.forward(mb, x)
-            loss, dlogits = softmax_cross_entropy(logits, graph.labels[mb.batch])
-            model.zero_grad()
-            model.backward(dlogits)
-            optimizer.step(model.parameters(), model.gradients())
-            epoch_loss += loss
-        print(f"epoch {epoch}: loss {epoch_loss / len(samples):.4f}")
+    print(f"test accuracy: {engine.evaluate('test'):.3f}")
 
-    # Full-neighbor inference for the final test score.
-    full = full_graph_sample(graph.adj, 2)
-    logits = model.forward(full, graph.features)
-    acc = accuracy(logits[graph.test_idx], graph.labels[graph.test_idx])
-    print(f"test accuracy: {acc:.3f}")
+    # The whole run is one JSON document.
+    print("\nthis run as JSON (repro train --config <file> replays it):")
+    print(cfg.to_json(), end="")
 
 
 if __name__ == "__main__":

@@ -2,7 +2,8 @@
 
 Puts the supporting pieces together the way a downstream user would:
 
-1. train a GAT model with the distributed pipeline (simulated 4-GPU run),
+1. train a GAT model with the distributed pipeline (simulated 4-GPU run)
+   through the :class:`repro.api.Engine` facade,
 2. checkpoint the parameters to disk,
 3. reload into a fresh model and evaluate with layer-wise minibatched
    inference (exact, memory-bounded — no full activation pyramid).
@@ -17,31 +18,30 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.api import Engine, RunConfig
 from repro.gnn import GNNModel, accuracy, load_model_into, save_model
-from repro.graphs import load_dataset
-from repro.pipeline import PipelineConfig, TrainingPipeline, layerwise_inference
+from repro.pipeline import layerwise_inference
 
 
 def main() -> None:
-    graph = load_dataset(
-        "products", scale=0.5, seed=21, with_labels=True, n_classes=8
-    )
-    graph.train_idx = np.arange(0, graph.n, 2)
-
-    cfg = PipelineConfig(
+    cfg = RunConfig(
+        dataset="products", scale=0.5, train_split=0.5,
         p=4, c=2, algorithm="replicated", sampler="sage", conv="sage",
-        fanout=(8, 4), batch_size=64, hidden=32, lr=0.01, seed=0,
+        fanout=(8, 4), batch_size=64, hidden=32, lr=0.01, epochs=6,
+        seed=21, dataset_kwargs={"with_labels": True, "n_classes": 8},
     )
-    pipe = TrainingPipeline(graph, cfg)
+    engine = Engine(cfg)
+    graph = engine.graph
+
     print(f"training on {cfg.p} simulated GPUs (c={cfg.c}) ...")
-    for epoch in range(6):
-        stats = pipe.train_epoch(epoch)
+    for epoch in range(cfg.epochs):
+        stats = engine.train_epoch(epoch)
         print(f"  epoch {epoch}: loss {stats.loss:.4f}  "
               f"(sim {stats.total * 1e3:.2f} ms/epoch)")
 
     with tempfile.TemporaryDirectory() as tmp:
         ckpt = Path(tmp) / "sage.npz"
-        save_model(pipe.model, ckpt)
+        save_model(engine.model, ckpt)
         print(f"checkpointed {ckpt.stat().st_size} bytes")
 
         fresh = GNNModel(

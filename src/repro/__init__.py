@@ -8,24 +8,27 @@ kernels, a simulated multi-GPU runtime with alpha-beta communication costs,
 distributed sampling algorithms, a numpy GNN training stack, the end-to-end
 pipeline of Figure 3, and the baselines the paper compares against.
 
+The public entry point is :mod:`repro.api` — pluggable registries
+(samplers, execution algorithms, datasets), a serializable
+:class:`~repro.api.RunConfig`, and the :class:`~repro.api.Engine` facade.
+
 Quickstart::
 
-    import numpy as np
-    from repro.core import SageSampler
-    from repro.graphs import load_dataset
+    from repro.api import Engine, RunConfig
 
-    g = load_dataset("products", scale=0.5, seed=0)
-    sampler = SageSampler()
-    batches = g.make_batches(64)
-    samples = sampler.sample_bulk(
-        g.adj, batches, fanout=(15, 10, 5), rng=np.random.default_rng(0)
-    )
+    cfg = RunConfig(dataset="products", scale=0.25, p=4,
+                    sampler="sage", fanout=(15, 10, 5),
+                    batch_size=32, hidden=32, epochs=3)
+    engine = Engine(cfg)
+    engine.train()
+    print(engine.evaluate("test"))
 
-See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-paper-vs-measured record of every table and figure.
+See README.md for the system inventory and the benchmarks/ directory for
+the paper-figure reproductions.
 """
 
-from . import baselines, bench, comm, core, distributed, gnn, graphs, partition, pipeline, sparse
+from . import api, baselines, bench, comm, core, distributed, gnn, graphs, partition, pipeline, sparse
+from .api import Engine, RunConfig
 from .config import (
     LADIES_ARCH,
     PERLMUTTER_LIKE,
@@ -36,9 +39,10 @@ from .config import (
     MachineConfig,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "api",
     "sparse",
     "comm",
     "core",
@@ -49,6 +53,8 @@ __all__ = [
     "baselines",
     "graphs",
     "bench",
+    "Engine",
+    "RunConfig",
     "MachineConfig",
     "DeviceModel",
     "LinkModel",

@@ -1,0 +1,180 @@
+"""RunConfig: one serializable description of an end-to-end run.
+
+A ``RunConfig`` names *what* to run entirely by registry keys — dataset,
+sampler, execution algorithm — plus the numeric knobs, so a JSON file fully
+reproduces a run::
+
+    cfg = RunConfig(dataset="products", sampler="ladies", fanout=(64,))
+    cfg.to_json("run.json")
+    Engine.from_json("run.json").train()
+
+Validation happens at construction and names the registry's known keys, so
+a typo or a missing plugin import fails immediately with the accepted
+options listed.  ``repro.pipeline.PipelineConfig`` is a deprecated alias
+that delegates here.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from ..config import DeviceModel, LinkModel, MachineConfig, PERLMUTTER_LIKE
+from .registries import (
+    ALGORITHMS,
+    DATASETS,
+    SAMPLERS,
+    check_sampler_supports,
+    check_sampler_trains,
+)
+
+__all__ = ["RunConfig", "machine_to_dict", "machine_from_dict"]
+
+
+def machine_to_dict(machine: MachineConfig) -> dict[str, Any]:
+    """JSON-ready nested dict for a :class:`MachineConfig`."""
+    return dataclasses.asdict(machine)
+
+
+def machine_from_dict(data: dict[str, Any]) -> MachineConfig:
+    """Inverse of :func:`machine_to_dict`."""
+    data = dict(data)
+    data["device"] = DeviceModel(**data["device"])
+    data["intra_node"] = LinkModel(**data["intra_node"])
+    data["inter_node"] = LinkModel(**data["inter_node"])
+    return MachineConfig(**data)
+
+
+@dataclass
+class RunConfig:
+    """Configuration of one run: cluster shape, algorithm/sampler keys,
+    model hyper-parameters and (optionally) the dataset to load.
+
+    Field order up to ``machine`` matches the historical ``PipelineConfig``
+    so existing call sites keep working; everything after it is new
+    Engine-level configuration.
+    """
+
+    p: int = 1
+    c: int = 1
+    algorithm: str = "replicated"
+    sampler: str = "sage"
+    fanout: tuple[int, ...] = (15, 10, 5)
+    batch_size: int = 1024
+    k: int | None = None  # bulk size in minibatches; None = whole epoch
+    hidden: int = 256
+    lr: float = 3e-3
+    seed: int = 0
+    train_model: bool = True
+    sparsity_aware: bool = True
+    conv: str | None = None  # model conv type; defaults per sampler metadata
+    work_scale: float = 1.0  # sim-to-paper workload scale (see Communicator)
+    machine: MachineConfig = field(default_factory=lambda: PERLMUTTER_LIKE)
+    # -- Engine-level configuration (new with repro.api) ----------------- #
+    dataset: str | None = None  # registry key; None = caller supplies a graph
+    scale: float = 1.0  # dataset down-scaling factor
+    train_split: float | None = None  # override train fraction; None = keep
+    epochs: int = 3  # default epoch count for engine.train()
+    dataset_kwargs: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if isinstance(self.fanout, list):
+            self.fanout = tuple(int(x) for x in self.fanout)
+        if isinstance(self.machine, dict):
+            self.machine = machine_from_dict(self.machine)
+        if self.algorithm not in ALGORITHMS:
+            raise ValueError(
+                f"unknown algorithm {self.algorithm!r}; known algorithms: "
+                f"{', '.join(ALGORITHMS.names())}"
+            )
+        if self.sampler not in SAMPLERS:
+            raise ValueError(
+                f"unknown sampler {self.sampler!r}; known samplers: "
+                f"{', '.join(SAMPLERS.names())}"
+            )
+        if self.dataset is not None and self.dataset not in DATASETS:
+            raise ValueError(
+                f"unknown dataset {self.dataset!r}; known datasets: "
+                f"{', '.join(DATASETS.names())}"
+            )
+        check_sampler_supports(self.sampler, self.algorithm)
+        if self.p <= 0 or self.c <= 0 or self.p % self.c:
+            raise ValueError("need c | p with both positive")
+        if self.algorithm == "single" and self.p != 1:
+            raise ValueError(
+                f"algorithm 'single' requires p=1, got p={self.p}"
+            )
+        if self.k is not None and self.k <= 0:
+            raise ValueError("bulk size k must be positive")
+        if self.scale <= 0:
+            raise ValueError("dataset scale must be positive")
+        if self.train_split is not None and not 0.0 < self.train_split <= 1.0:
+            raise ValueError("train_split must be in (0, 1]")
+        if self.epochs <= 0:
+            raise ValueError("epochs must be positive")
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-serializable dict that round-trips via :meth:`from_dict`."""
+        out: dict[str, Any] = {}
+        for f in dataclasses.fields(self):
+            value = getattr(self, f.name)
+            if f.name == "machine":
+                value = machine_to_dict(value)
+            elif f.name == "fanout":
+                value = list(value)
+            elif f.name == "dataset_kwargs":
+                value = dict(value)
+            out[f.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "RunConfig":
+        """Build from a (possibly partial) dict; unknown keys are an error
+        that names the valid fields."""
+        valid = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - valid)
+        if unknown:
+            raise ValueError(
+                f"unknown RunConfig field(s) {', '.join(map(repr, unknown))}; "
+                f"valid fields: {', '.join(sorted(valid))}"
+            )
+        return cls(**data)
+
+    def to_json(self, path: str | Path | None = None, *, indent: int = 2) -> str:
+        """Serialize to JSON; also writes ``path`` when given."""
+        text = json.dumps(self.to_dict(), indent=indent) + "\n"
+        if path is not None:
+            Path(path).write_text(text)
+        return text
+
+    @classmethod
+    def from_json(cls, source: str | Path) -> "RunConfig":
+        """Load from a JSON file path or a JSON string."""
+        text = str(source)
+        if not text.lstrip().startswith("{"):
+            text = Path(source).read_text()
+        return cls.from_dict(json.loads(text))
+
+    def replace(self, **changes: Any) -> "RunConfig":
+        """A copy with ``changes`` applied (re-validated)."""
+        return dataclasses.replace(self, **changes)
+
+    # ------------------------------------------------------------------ #
+    # Capability checks used by the pipeline
+    # ------------------------------------------------------------------ #
+    def require_trainable(self) -> None:
+        """Raise CapabilityError if the sampler cannot drive training."""
+        check_sampler_trains(self.sampler)
+
+    def resolved_conv(self) -> str:
+        """The model convolution to use: explicit ``conv`` or the sampler
+        registry's ``default_conv``."""
+        if self.conv is not None:
+            return self.conv
+        return SAMPLERS.spec(self.sampler).meta("default_conv", "gcn")

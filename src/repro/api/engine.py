@@ -1,0 +1,169 @@
+"""Engine: the single entry point tying graph + config + backend together.
+
+An :class:`Engine` owns one graph, one :class:`~repro.api.config.RunConfig`
+and the execution backend the config's ``algorithm`` key resolves to, and
+exposes the four things callers do::
+
+    engine = Engine(RunConfig(dataset="products", scale=0.25, p=4))
+    samples = engine.sample()          # bulk-sample minibatches
+    stats   = engine.train()           # epochs of pipeline training
+    acc     = engine.evaluate("test")  # full-neighbor accuracy
+    for bulk in engine.stream_bulks(): # iterate bulks, don't materialize
+        ...
+
+``stream_bulks`` is a generator over one epoch's minibatch bulks — sampling
+runs lazily per bulk, so callers can interleave their own work (logging,
+early stopping, custom training) without an epoch's worth of samples in
+memory; after exhaustion ``engine.epoch_stats`` holds the same
+:class:`~repro.pipeline.stats.EpochStats` a ``train_epoch`` call returns.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Iterator, Sequence
+
+import numpy as np
+
+from ..core import MinibatchSample
+from ..graphs import Graph
+from ..pipeline.stats import BulkStats, EpochStats
+from ..pipeline.trainer import TrainingPipeline
+from .config import RunConfig
+from .registries import load_graph_from_registry, make_sampler
+
+__all__ = ["Engine"]
+
+
+class Engine:
+    """Facade over graph loading, sampling, training and evaluation.
+
+    ``graph`` may be passed directly (any :class:`~repro.graphs.Graph`);
+    otherwise ``config.dataset`` names a registered dataset to load, scaled
+    by ``config.scale`` and seeded by ``config.seed``.  A non-``None``
+    ``config.train_split`` re-splits the graph in place: that fraction of
+    vertices becomes the training split and val/test are re-drawn from the
+    remainder (deterministically from ``config.seed``), so the three splits
+    stay disjoint and test accuracy is never measured on trained vertices.
+
+    The training pipeline is built lazily on first use of a training verb
+    (``train``/``evaluate``/``stream_bulks``/``backend``/``model``), so a
+    sampling-only sampler still supports :meth:`sample`.
+    """
+
+    def __init__(self, config: RunConfig | dict, graph: Graph | None = None) -> None:
+        if isinstance(config, dict):
+            config = RunConfig.from_dict(config)
+        self.config = config
+        if graph is None:
+            if config.dataset is None:
+                raise ValueError(
+                    "Engine needs a graph: pass one explicitly or set "
+                    "RunConfig.dataset to a registered dataset name"
+                )
+            kwargs: dict[str, Any] = {"with_labels": True}
+            kwargs.update(config.dataset_kwargs)
+            graph = load_graph_from_registry(
+                config.dataset, scale=config.scale, seed=config.seed, **kwargs
+            )
+        if config.train_split is not None:
+            rng = np.random.default_rng(
+                np.random.SeedSequence([config.seed, 7919])
+            )
+            perm = rng.permutation(graph.n)
+            n_train = max(1, int(round(config.train_split * graph.n)))
+            rest = perm[n_train:]
+            n_val = min(rest.size, graph.n // 10)
+            graph.train_idx = np.sort(perm[:n_train])
+            graph.val_idx = np.sort(rest[:n_val])
+            graph.test_idx = np.sort(rest[n_val:])
+        self.graph = graph
+        self._pipeline: TrainingPipeline | None = None
+        self._sampler = None
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_json(cls, source: str | Path, graph: Graph | None = None) -> "Engine":
+        """Build an engine from a JSON RunConfig (path or JSON string)."""
+        return cls(RunConfig.from_json(source), graph=graph)
+
+    # ------------------------------------------------------------------ #
+    # Convenience accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def pipeline(self) -> TrainingPipeline:
+        """The training pipeline, built on first access (this is where a
+        sampling-only sampler raises its capability error)."""
+        if self._pipeline is None:
+            self._pipeline = TrainingPipeline(self.graph, self.config)
+        return self._pipeline
+
+    @property
+    def sampler(self):
+        """The registry-built sampler instance used by :meth:`sample`."""
+        if self._sampler is None:
+            self._sampler = make_sampler(
+                self.config.sampler, graph=self.graph, for_training=True
+            )
+        return self._sampler
+
+    @property
+    def backend(self):
+        """The execution backend (resolved via the ALGORITHMS registry)."""
+        return self.pipeline.backend
+
+    @property
+    def model(self):
+        """The GNN model being trained."""
+        return self.pipeline.model
+
+    @property
+    def epoch_stats(self) -> EpochStats | None:
+        """Stats of the most recently completed epoch (train_epoch or a
+        fully-consumed stream_bulks)."""
+        if self._pipeline is None:
+            return None
+        return self._pipeline.last_epoch_stats
+
+    # ------------------------------------------------------------------ #
+    # The four verbs
+    # ------------------------------------------------------------------ #
+    def sample(
+        self,
+        batches: Sequence[np.ndarray] | None = None,
+        *,
+        seed: int | None = None,
+    ) -> list[MinibatchSample]:
+        """Bulk-sample minibatches with the configured sampler (local, no
+        distribution).  Without ``batches``, one epoch's worth is drawn from
+        the training split at ``config.batch_size``."""
+        rng = np.random.default_rng(
+            self.config.seed if seed is None else seed
+        )
+        if batches is None:
+            batches = self.graph.make_batches(self.config.batch_size, rng)
+        return self.sampler.sample_bulk(
+            self.graph.adj, list(batches), self.config.fanout, rng
+        )
+
+    def train(self, epochs: int | None = None) -> list[EpochStats]:
+        """Train for ``epochs`` (default ``config.epochs``); returns the
+        per-epoch stats."""
+        n = self.config.epochs if epochs is None else epochs
+        return [self.pipeline.train_epoch(epoch) for epoch in range(n)]
+
+    def train_epoch(self, epoch: int = 0) -> EpochStats:
+        """Run a single epoch."""
+        return self.pipeline.train_epoch(epoch)
+
+    def evaluate(self, split: str = "test") -> float:
+        """Full-neighbor accuracy on a split."""
+        return self.pipeline.evaluate(split)
+
+    def stream_bulks(self, epoch: int = 0) -> Iterator[BulkStats]:
+        """Generator over one epoch's minibatch bulks (lazy sampling +
+        training per bulk).  After exhaustion, :attr:`epoch_stats` matches
+        what ``train_epoch(epoch)`` would have returned."""
+        return self.pipeline.stream_bulks(epoch)

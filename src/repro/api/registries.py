@@ -1,0 +1,214 @@
+"""The system's pluggable axes: SAMPLERS, ALGORITHMS and DATASETS.
+
+The paper's core claim is that one matrix abstraction (Algorithm 1)
+expresses every sampling algorithm; these registries make that claim
+operational.  Samplers, execution algorithms and datasets are looked up by
+name *only* here — the CLI, the training pipeline, the benchmark harness
+and the Engine all resolve through these tables, so registering a plugin
+makes it available everywhere at once::
+
+    from repro.api import SAMPLERS
+
+    @SAMPLERS.register("my-sampler", default_conv="sage")
+    class MySampler(MatrixSampler):
+        ...
+
+    # now valid: RunConfig(sampler="my-sampler"), repro train --sampler ...
+
+Sampler metadata keys
+---------------------
+``default_conv``
+    Model convolution the trainer uses when ``RunConfig.conv`` is unset.
+``pipeline_kwargs``
+    Constructor kwargs applied when the sampler is built for training
+    (the built-ins add ``include_dst=True`` so models keep a root term).
+``algorithms``
+    Execution algorithms the sampler supports; defaults to
+    ``("single", "replicated")`` because those run the sampler's own
+    ``sample_bulk`` unchanged.  Only samplers with a per-layer partitioned
+    formulation list ``"partitioned"``.
+``capabilities``
+    ``"sample"`` and/or ``"train"``; a sampling-only entry raises
+    :class:`~repro.api.registry.CapabilityError` from the pipeline.
+``default_fanout``
+    CLI default when ``--fanout`` is not given.
+``graph_aware``
+    The factory takes the graph as first argument (for samplers whose
+    state depends on graph statistics, e.g. degree-biased sampling).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core import (
+    FastGCNSampler,
+    GraphSaintRWSampler,
+    LadiesSampler,
+    MatrixSampler,
+    SageSampler,
+)
+from ..graphs import Graph, load_dataset
+from ..graphs.datasets import PAPER_DATASETS
+from .backends import PartitionedBackend, ReplicatedBackend, SingleDeviceBackend
+from .registry import CapabilityError, Registry
+
+__all__ = [
+    "SAMPLERS",
+    "ALGORITHMS",
+    "DATASETS",
+    "make_sampler",
+    "load_graph_from_registry",
+    "CapabilityError",
+]
+
+#: All matrix-expressible sampling algorithms, built-in and plugin.
+SAMPLERS = Registry("sampler")
+
+#: Execution strategies (where/how bulk sampling runs).
+ALGORITHMS = Registry("algorithm")
+
+#: Datasets loadable by name.
+DATASETS = Registry("dataset")
+
+
+# ---------------------------------------------------------------------- #
+# Built-in samplers
+# ---------------------------------------------------------------------- #
+SAMPLERS.register(
+    "sage",
+    SageSampler,
+    default_conv="sage",
+    pipeline_kwargs={"include_dst": True},
+    algorithms=("single", "replicated", "partitioned"),
+    capabilities=("sample", "train"),
+    default_fanout=(5, 3),
+    family="node-wise",
+)
+SAMPLERS.register(
+    "ladies",
+    LadiesSampler,
+    default_conv="gcn",
+    pipeline_kwargs={"include_dst": True},
+    algorithms=("single", "replicated", "partitioned"),
+    capabilities=("sample", "train"),
+    default_fanout=(64,),
+    family="layer-wise",
+)
+SAMPLERS.register(
+    "fastgcn",
+    FastGCNSampler,
+    default_conv="gcn",
+    pipeline_kwargs={"include_dst": True},
+    algorithms=("single", "replicated", "partitioned"),
+    capabilities=("sample", "train"),
+    default_fanout=(64,),
+    family="layer-wise",
+)
+# SAINT is graph-wise: its sample_bulk produces whole induced subgraphs, so
+# it runs under any algorithm that calls sample_bulk directly (single,
+# replicated) but has no per-layer partitioned formulation.
+SAMPLERS.register(
+    "saint",
+    GraphSaintRWSampler,
+    default_conv="gcn",
+    pipeline_kwargs={},
+    algorithms=("single", "replicated"),
+    capabilities=("sample", "train"),
+    default_fanout=(3, 3),
+    family="graph-wise",
+)
+
+
+# ---------------------------------------------------------------------- #
+# Built-in execution algorithms
+# ---------------------------------------------------------------------- #
+ALGORITHMS.register(
+    "single", SingleDeviceBackend, scalable=False,
+    description="one device, no distribution",
+)
+ALGORITHMS.register(
+    "replicated", ReplicatedBackend, scalable=True,
+    description="Graph Replicated (section 5.1): A on every rank",
+)
+ALGORITHMS.register(
+    "partitioned", PartitionedBackend, scalable=True,
+    description="Graph Partitioned (section 5.2): 1.5D sparsity-aware SpGEMM",
+)
+
+
+# ---------------------------------------------------------------------- #
+# Built-in datasets (the paper's Table 3 stand-ins)
+# ---------------------------------------------------------------------- #
+def _register_paper_dataset(name: str) -> None:
+    DATASETS.register(
+        name,
+        lambda **kwargs: load_dataset(name, **kwargs),
+        spec=PAPER_DATASETS[name],
+    )
+
+
+for _name in PAPER_DATASETS:
+    _register_paper_dataset(_name)
+
+
+# ---------------------------------------------------------------------- #
+# Construction helpers
+# ---------------------------------------------------------------------- #
+def make_sampler(
+    name: str,
+    *,
+    graph: Graph | None = None,
+    for_training: bool = False,
+    **overrides: Any,
+) -> MatrixSampler:
+    """Instantiate a registered sampler.
+
+    ``for_training`` applies the entry's ``pipeline_kwargs`` (the built-ins
+    use it to add the destination vertices to each frontier so models keep
+    a root term).  ``graph`` is forwarded as the first argument for
+    ``graph_aware`` entries.  ``overrides`` go to the factory verbatim.
+    """
+    entry = SAMPLERS.spec(name)
+    kwargs: dict[str, Any] = {}
+    if for_training:
+        kwargs.update(entry.meta("pipeline_kwargs", {}))
+    kwargs.update(overrides)
+    if entry.meta("graph_aware", False):
+        if graph is None:
+            raise ValueError(
+                f"sampler {name!r} is graph-aware and needs a graph to build"
+            )
+        return entry.obj(graph, **kwargs)
+    return entry.obj(**kwargs)
+
+
+def load_graph_from_registry(
+    name: str, *, scale: float = 1.0, seed: int = 0, **kwargs: Any
+) -> Graph:
+    """Load a registered dataset by name."""
+    return DATASETS.get(name)(scale=scale, seed=seed, **kwargs)
+
+
+def check_sampler_supports(sampler: str, algorithm: str) -> None:
+    """Raise :class:`CapabilityError` if the sampler's registry metadata
+    rules out the requested execution algorithm."""
+    entry = SAMPLERS.spec(sampler)
+    supported = tuple(entry.meta("algorithms", ("single", "replicated")))
+    if algorithm not in supported:
+        raise CapabilityError(
+            f"sampler {sampler!r} does not support the {algorithm!r} "
+            f"execution algorithm; supported: {', '.join(supported)}"
+        )
+
+
+def check_sampler_trains(sampler: str) -> None:
+    """Raise :class:`CapabilityError` for sampling-only entries used in
+    the training pipeline."""
+    entry = SAMPLERS.spec(sampler)
+    caps = tuple(entry.meta("capabilities", ("sample", "train")))
+    if "train" not in caps:
+        raise CapabilityError(
+            f"sampler {sampler!r} is sampling-only (capabilities: "
+            f"{', '.join(caps)}); it cannot drive the training pipeline"
+        )

@@ -13,10 +13,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..api.config import RunConfig
 from ..config import PERLMUTTER_LIKE, MachineConfig
 from ..graphs import Graph, load_dataset
 from ..graphs.datasets import PAPER_DATASETS
-from ..pipeline import PipelineConfig, TrainingPipeline, choose_c_k
+from ..pipeline import TrainingPipeline, choose_c_k
 from ..pipeline.stats import EpochStats
 
 __all__ = ["BenchWorkload", "SIM_WORKLOADS", "load_bench_graph", "run_pipeline_epoch"]
@@ -97,18 +98,19 @@ def run_pipeline_epoch(
     model (section 7.3's "highest c and k that fit"), capped to the sim
     workload's batch count.
     """
+    from ..api.registries import SAMPLERS
     from ..config import ArchitectureConfig
 
+    # Layer-wise samplers (LADIES family) take one wide layer; everything
+    # else uses the workload's per-layer fanout shape.
+    layerwise = SAMPLERS.spec(sampler).meta("family") == "layer-wise"
+    fanout = workload.fanout if not layerwise else (workload.ladies_width,)
     arch = ArchitectureConfig(
         name=sampler.upper(),
         batch_size=workload.spec.batch_size,
-        fanout=(
-            workload.fanout
-            if sampler == "sage"
-            else tuple([workload.ladies_width])
-        ),
+        fanout=fanout,
         hidden=256,
-        layers=len(workload.fanout) if sampler == "sage" else 1,
+        layers=len(fanout),
     )
     if c is None or k is None:
         auto_c, auto_k = choose_c_k(
@@ -119,10 +121,7 @@ def run_pipeline_epoch(
         # Scale the paper-sized k down to the sim batch count.
         if k is None:
             k = max(1, int(round(workload.n_batches * auto_k / workload.spec.batches)))
-    fanout = (
-        workload.fanout if sampler == "sage" else (workload.ladies_width,)
-    )
-    cfg = PipelineConfig(
+    cfg = RunConfig(
         p=p,
         c=c,
         algorithm=algorithm,

@@ -5,16 +5,23 @@ Usage (after install)::
     python -m repro info
     python -m repro generate products --scale 0.5 --out products.npz
     python -m repro sample products --sampler ladies --batches 8
-    python -m repro train products --epochs 5 --p 4 --c 2
+    python -m repro train products --epochs 5 --p 4 --c 2 --fanout 10,5
+    python -m repro train --config examples/run_config.json
     python -m repro sweep products --algorithm replicated
 
-Every subcommand prints human-readable tables; simulated times follow the
-same semantics as the benchmarks (see EXPERIMENTS.md).
+Every choice list (datasets, samplers, execution algorithms) is driven by
+the :mod:`repro.api` registries, so plugins loaded with ``--plugin
+my_module`` (importable module that registers itself) appear as valid
+options everywhere.  ``repro train`` accepts a ``--config file.json``
+RunConfig; explicit flags override the file.  Subcommands print
+human-readable tables; simulated times follow the same semantics as the
+benchmarks.
 """
 
 from __future__ import annotations
 
 import argparse
+import importlib
 import sys
 import time
 
@@ -22,56 +29,107 @@ import numpy as np
 
 __all__ = ["main", "build_parser"]
 
+#: ``repro train`` flags that override the corresponding RunConfig field
+#: (None = not given, fall back to --config / defaults).
+_TRAIN_OVERRIDES = (
+    "scale", "epochs", "p", "c", "algorithm", "sampler", "batch_size",
+    "seed", "hidden", "lr", "k", "train_split",
+)
+
+
+def _parse_fanout(text: str) -> tuple[int, ...]:
+    try:
+        return tuple(int(x) for x in text.split(","))
+    except ValueError:
+        raise ValueError(
+            f"invalid --fanout {text!r}: expected comma-separated integers "
+            f"like 15,10,5"
+        ) from None
+
+
+def _user_error(exc: object) -> int:
+    """Report a config/registry/input problem as one line, exit code 2."""
+    print(f"error: {exc}", file=sys.stderr)
+    return 2
+
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro.api import ALGORITHMS, DATASETS, SAMPLERS
+
+    datasets = DATASETS.names()
+    samplers = SAMPLERS.names()
+    algorithms = ALGORITHMS.names()
+    sweep_algorithms = [
+        n for n in algorithms if ALGORITHMS.spec(n).meta("scalable", True)
+    ]
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Distributed matrix-based GNN sampling (MLSys 2024 reproduction)",
+    )
+    parser.add_argument(
+        "--plugin", action="append", default=[], metavar="MODULE",
+        help="import MODULE before running (for registry plugins); repeatable",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("info", help="print version and simulated machine config")
 
     gen = sub.add_parser("generate", help="generate a dataset stand-in to .npz")
-    gen.add_argument("dataset", choices=["products", "protein", "papers"])
+    gen.add_argument("dataset", choices=datasets)
     gen.add_argument("--scale", type=float, default=0.5)
     gen.add_argument("--seed", type=int, default=0)
     gen.add_argument("--labels", action="store_true", help="planted labels")
     gen.add_argument("--out", required=True)
 
     smp = sub.add_parser("sample", help="bulk-sample minibatches, print stats")
-    smp.add_argument("dataset", choices=["products", "protein", "papers"])
-    smp.add_argument("--sampler", default="sage",
-                     choices=["sage", "ladies", "fastgcn", "saint"])
+    smp.add_argument("dataset", choices=datasets)
+    smp.add_argument("--sampler", default="sage", choices=samplers)
     smp.add_argument("--scale", type=float, default=0.25)
     smp.add_argument("--batches", type=int, default=8)
     smp.add_argument("--batch-size", type=int, default=32)
     smp.add_argument("--fanout", default="5,3")
     smp.add_argument("--seed", type=int, default=0)
 
-    trn = sub.add_parser("train", help="train the pipeline on a sim cluster")
-    trn.add_argument("dataset", choices=["products", "protein", "papers"])
-    trn.add_argument("--scale", type=float, default=0.25)
-    trn.add_argument("--epochs", type=int, default=3)
-    trn.add_argument("--p", type=int, default=4)
-    trn.add_argument("--c", type=int, default=1)
-    trn.add_argument("--algorithm", default="replicated",
-                     choices=["replicated", "partitioned"])
-    trn.add_argument("--sampler", default="sage",
-                     choices=["sage", "ladies", "fastgcn"])
-    trn.add_argument("--batch-size", type=int, default=32)
-    trn.add_argument("--seed", type=int, default=0)
+    trn = sub.add_parser(
+        "train",
+        help="train the pipeline on a sim cluster",
+        description="Flags override --config; without --config the dataset "
+        "positional is required and unset flags use the defaults shown.",
+    )
+    trn.add_argument("dataset", nargs="?", default=None, choices=datasets)
+    trn.add_argument("--config", default=None, metavar="FILE.json",
+                     help="RunConfig JSON (repro.api.RunConfig.to_json)")
+    trn.add_argument("--scale", type=float, default=None, help="default 0.25")
+    trn.add_argument("--epochs", type=int, default=None, help="default 3")
+    trn.add_argument("--p", type=int, default=None, help="GPU count, default 4")
+    trn.add_argument("--c", type=int, default=None,
+                     help="replication factor, default 1")
+    trn.add_argument("--k", type=int, default=None,
+                     help="bulk size in minibatches, default whole epoch")
+    trn.add_argument("--algorithm", default=None, choices=algorithms)
+    trn.add_argument("--sampler", default=None, choices=samplers)
+    trn.add_argument("--fanout", default=None, metavar="N,N,...",
+                     help="per-layer sample counts; default per sampler")
+    trn.add_argument("--train-split", type=float, default=None,
+                     dest="train_split", metavar="FRAC",
+                     help="fraction of vertices used for training, default 0.5")
+    trn.add_argument("--batch-size", type=int, default=None, help="default 32")
+    trn.add_argument("--hidden", type=int, default=None, help="default 32")
+    trn.add_argument("--lr", type=float, default=None, help="default 0.01")
+    trn.add_argument("--seed", type=int, default=None, help="default 0")
 
     swp = sub.add_parser("sweep", help="figure-4-style GPU-count sweep")
-    swp.add_argument("dataset", choices=["products", "protein", "papers"])
+    swp.add_argument("dataset", choices=datasets)
     swp.add_argument("--algorithm", default="replicated",
-                     choices=["replicated", "partitioned"])
+                     choices=sweep_algorithms)
     swp.add_argument("--gpus", default="4,8,16,32")
     return parser
 
 
 def _cmd_info() -> int:
     import repro
+    from repro.api import ALGORITHMS, SAMPLERS
     from repro.config import PERLMUTTER_LIKE
 
     m = PERLMUTTER_LIKE
@@ -82,16 +140,22 @@ def _cmd_info() -> int:
           f"{m.device.memory_bytes / 1e9:.0f} GB")
     print(f"  intra-node link: {1 / m.intra_node.beta / 1e9:.0f} GB/s")
     print(f"  inter-node link: {1 / m.inter_node.beta / 1e9:.0f} GB/s")
+    print(f"samplers: {', '.join(SAMPLERS.names())}")
+    print(f"algorithms: {', '.join(ALGORITHMS.names())}")
     return 0
 
 
 def _cmd_generate(args) -> int:
-    from repro.graphs import load_dataset, save_graph, summarize
+    from repro.api import load_graph_from_registry
+    from repro.graphs import save_graph, summarize
 
-    graph = load_dataset(
-        args.dataset, scale=args.scale, seed=args.seed,
-        with_labels=args.labels,
-    )
+    try:
+        graph = load_graph_from_registry(
+            args.dataset, scale=args.scale, seed=args.seed,
+            with_labels=args.labels,
+        )
+    except (ValueError, KeyError) as exc:
+        return _user_error(exc)
     path = save_graph(graph, args.out)
     row = summarize(graph).row()
     print(f"wrote {path}")
@@ -101,30 +165,27 @@ def _cmd_generate(args) -> int:
 
 
 def _cmd_sample(args) -> int:
-    from repro.core import (
-        FastGCNSampler,
-        GraphSaintRWSampler,
-        LadiesSampler,
-        SageSampler,
-    )
-    from repro.graphs import load_dataset
+    from repro.api import load_graph_from_registry, make_sampler
 
-    samplers = {
-        "sage": SageSampler,
-        "ladies": LadiesSampler,
-        "fastgcn": FastGCNSampler,
-        "saint": GraphSaintRWSampler,
-    }
-    graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    try:
+        fanout = _parse_fanout(args.fanout)
+        graph = load_graph_from_registry(
+            args.dataset, scale=args.scale, seed=args.seed
+        )
+        sampler = make_sampler(args.sampler, graph=graph)
+    except (ValueError, KeyError) as exc:
+        return _user_error(exc)
     rng = np.random.default_rng(args.seed)
-    fanout = tuple(int(x) for x in args.fanout.split(","))
     batches = [
         rng.choice(graph.n, args.batch_size, replace=False)
         for _ in range(args.batches)
     ]
-    sampler = samplers[args.sampler]()
     t0 = time.perf_counter()
-    samples = sampler.sample_bulk(graph.adj, batches, fanout, rng)
+    try:
+        # sample_bulk validates user input (fanout entries, batch ranges).
+        samples = sampler.sample_bulk(graph.adj, batches, fanout, rng)
+    except ValueError as exc:
+        return _user_error(exc)
     dt = time.perf_counter() - t0
     edges = sum(mb.total_edges() for mb in samples)
     frontier = sum(mb.input_frontier.size for mb in samples)
@@ -136,28 +197,57 @@ def _cmd_sample(args) -> int:
     return 0
 
 
-def _cmd_train(args) -> int:
-    from repro.graphs import load_dataset
-    from repro.pipeline import PipelineConfig, TrainingPipeline
+def _resolve_train_config(args):
+    """Merge --config (if any), explicit flags, and CLI defaults into one
+    validated RunConfig."""
+    from repro.api import RunConfig, SAMPLERS
 
-    graph = load_dataset(
-        args.dataset, scale=args.scale, seed=args.seed, with_labels=True
+    overrides = {
+        name: getattr(args, name)
+        for name in _TRAIN_OVERRIDES
+        if getattr(args, name) is not None
+    }
+    if args.dataset is not None:
+        overrides["dataset"] = args.dataset
+    if args.fanout is not None:
+        overrides["fanout"] = _parse_fanout(args.fanout)
+    if args.config is not None:
+        return RunConfig.from_json(args.config).replace(**overrides)
+    settings = dict(
+        p=4, c=1, algorithm="replicated", sampler="sage", batch_size=32,
+        seed=0, scale=0.25, epochs=3, hidden=32, lr=0.01, train_split=0.5,
     )
-    graph.train_idx = np.arange(0, graph.n, 2)
-    fanout = (5, 3) if args.sampler == "sage" else (64,)
-    cfg = PipelineConfig(
-        p=args.p, c=args.c, algorithm=args.algorithm, sampler=args.sampler,
-        fanout=fanout, batch_size=args.batch_size, hidden=32, lr=0.01,
-        seed=args.seed,
+    settings.update(overrides)
+    settings.setdefault(
+        "fanout",
+        SAMPLERS.spec(settings["sampler"]).meta("default_fanout", (5, 3)),
     )
-    pipe = TrainingPipeline(graph, cfg)
-    for epoch in range(args.epochs):
-        stats = pipe.train_epoch(epoch)
-        print(f"epoch {epoch}: loss {stats.loss:.4f}  "
+    return RunConfig(**settings)
+
+
+def _cmd_train(args) -> int:
+    from repro.api import Engine
+
+    try:
+        cfg = _resolve_train_config(args)
+        if cfg.dataset is None:
+            raise ValueError(
+                "no dataset given (positional argument or --config)"
+            )
+        engine = Engine(cfg)
+        engine.pipeline  # resolve registries/capabilities before training
+    except (ValueError, KeyError, FileNotFoundError) as exc:
+        return _user_error(exc)
+    for epoch in range(cfg.epochs):
+        stats = engine.train_epoch(epoch)
+        loss_txt = (
+            f"loss {stats.loss:.4f}" if stats.loss is not None else "loss n/a"
+        )
+        print(f"epoch {epoch}: {loss_txt}  "
               f"sim-time {stats.total:.5f}s "
               f"(sampling {stats.sampling:.5f} / fetch {stats.feature_fetch:.5f}"
               f" / prop {stats.propagation:.5f})")
-    print(f"test accuracy: {pipe.evaluate('test'):.3f}")
+    print(f"test accuracy: {engine.evaluate('test'):.3f}")
     return 0
 
 
@@ -189,17 +279,42 @@ def _cmd_sweep(args) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
-    args = build_parser().parse_args(argv)
-    if args.command == "info":
-        return _cmd_info()
-    if args.command == "generate":
-        return _cmd_generate(args)
-    if args.command == "sample":
-        return _cmd_sample(args)
-    if args.command == "train":
-        return _cmd_train(args)
-    if args.command == "sweep":
-        return _cmd_sweep(args)
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Import plugin modules before building the parser so their registry
+    # entries show up in the --sampler/--algorithm/dataset choices.  The
+    # flag is consumed here (accepted anywhere, including after the
+    # subcommand) and stripped before argparse sees the rest.
+    remaining: list[str] = []
+    plugins: list[str] = []
+    it = iter(argv)
+    for arg in it:
+        if arg == "--plugin":
+            plugins.append(next(it, ""))
+        elif arg.startswith("--plugin="):
+            plugins.append(arg.split("=", 1)[1])
+        else:
+            remaining.append(arg)
+    try:
+        for module in plugins:
+            if not module:
+                raise ImportError("--plugin needs a module name")
+            importlib.import_module(module)
+    except ImportError as exc:
+        return _user_error(f"could not import plugin: {exc}")
+    args = build_parser().parse_args(remaining)
+    try:
+        if args.command == "info":
+            return _cmd_info()
+        if args.command == "generate":
+            return _cmd_generate(args)
+        if args.command == "sample":
+            return _cmd_sample(args)
+        if args.command == "train":
+            return _cmd_train(args)
+        if args.command == "sweep":
+            return _cmd_sweep(args)
+    except BrokenPipeError:  # e.g. `repro train ... | head`
+        return 0
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
 
 

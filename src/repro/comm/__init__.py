@@ -1,8 +1,9 @@
 """Simulated distributed runtime: per-rank clocks, alpha-beta collectives,
 process grids and communication-volume accounting.
 
-This substrate stands in for the paper's 128-GPU NCCL deployment; see
-DESIGN.md section 2 for the substitution argument.
+This substrate stands in for the paper's 128-GPU NCCL deployment: all
+communication and compute costs are charged to per-rank simulated clocks
+through the same alpha-beta/roofline models the paper's analysis uses.
 """
 
 from .clock import SimClock

@@ -1,7 +1,7 @@
 """Synthetic graph generators (vectorized numpy).
 
 These stand in for the paper's datasets (OGB Products/Papers100M, HipMCL
-Protein); see DESIGN.md section 2.  R-MAT reproduces the skewed degree
+Protein).  R-MAT reproduces the skewed degree
 distributions of real web/citation graphs, Chung-Lu gives direct control of
 the degree-law exponent, Erdos-Renyi provides a flat control, and the
 planted-partition generator produces learnable community structure for the

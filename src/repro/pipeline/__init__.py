@@ -2,12 +2,13 @@
 
 from .inference import layerwise_inference
 from .memory import MemoryModel, choose_c_k, quiver_fits
-from .stats import EpochStats
+from .stats import BulkStats, EpochStats
 from .trainer import PipelineConfig, TrainingPipeline
 
 __all__ = [
     "PipelineConfig",
     "TrainingPipeline",
+    "BulkStats",
     "EpochStats",
     "MemoryModel",
     "layerwise_inference",

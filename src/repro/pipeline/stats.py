@@ -4,7 +4,22 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["EpochStats"]
+__all__ = ["BulkStats", "EpochStats"]
+
+
+@dataclass(frozen=True)
+class BulkStats:
+    """One bulk sampling + training step, as yielded by ``stream_bulks``.
+
+    ``loss`` is the mean minibatch loss of the bulk (``None`` in perf-only
+    mode); ``rounds`` is how many training rounds the bulk's per-rank
+    minibatch lists required.
+    """
+
+    index: int
+    n_batches: int
+    rounds: int
+    loss: float | None = None
 
 
 @dataclass

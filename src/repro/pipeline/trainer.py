@@ -2,15 +2,18 @@
 
 Bulk-synchronous loop per epoch:
 
-1. **Sampling step** — ``k`` minibatches sampled at once with either the
-   Graph Replicated or Graph Partitioned algorithm; each rank ends up
-   owning ``k/p`` sampled minibatches.
+1. **Sampling step** — ``k`` minibatches sampled at once by the execution
+   backend the config's ``algorithm`` key resolves to (single-device,
+   Graph Replicated or Graph Partitioned); each rank ends up owning its
+   share of the sampled minibatches.
 2. **Feature fetching** — per training round, every rank all-to-allv's with
    its process column to collect the feature rows of its minibatch's input
    frontier from the 1.5D-partitioned feature matrix.
 3. **Propagation** — forward/backward on the minibatch, then a gradient
    all-reduce across all ranks (data parallelism) and an optimizer step.
 
+Samplers and execution algorithms are resolved through
+:mod:`repro.api.registries` — this module holds no name tables of its own.
 Simulated time is attributed to the three phases Figure 4 stacks; real
 numpy training (loss, accuracy) can be switched off for performance-only
 sweeps (``train_model=False``) while all costs are still charged.
@@ -18,23 +21,15 @@ sweeps (``train_model=False``) while all costs are still charged.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
+from typing import Iterator
 
 import numpy as np
 
+from ..api.config import RunConfig
+from ..api.registries import ALGORITHMS, make_sampler
 from ..comm import Communicator, ProcessGrid, Unscaled
-from ..config import MachineConfig, PERLMUTTER_LIKE
-from ..core import (
-    FastGCNSampler,
-    LadiesSampler,
-    MinibatchSample,
-    SageSampler,
-    chunk_bulks,
-)
-from ..distributed import (
-    partitioned_bulk_sampling,
-    replicated_bulk_sampling,
-)
+from ..core import MinibatchSample, chunk_bulks
 from ..gnn import (
     GNNModel,
     accuracy,
@@ -44,57 +39,37 @@ from ..gnn import (
     softmax_cross_entropy,
 )
 from ..graphs import Graph
-from ..partition import BlockRows, FeatureStore
-from .stats import EpochStats
+from ..partition import FeatureStore
+from .stats import BulkStats, EpochStats
 
 __all__ = ["PipelineConfig", "TrainingPipeline"]
 
-_SAMPLERS = {
-    "sage": lambda: SageSampler(include_dst=True),
-    "ladies": lambda: LadiesSampler(include_dst=True),
-    "fastgcn": lambda: FastGCNSampler(include_dst=True),
-}
-_DEFAULT_CONV = {"sage": "sage", "ladies": "gcn", "fastgcn": "gcn"}
 _SAMPLING_PHASES = ("sampling", "probability", "extraction")
 
 
-@dataclass
-class PipelineConfig:
-    """Configuration of one pipeline instance."""
+class PipelineConfig(RunConfig):
+    """Deprecated alias of :class:`repro.api.RunConfig`.
 
-    p: int
-    c: int = 1
-    algorithm: str = "replicated"  # "replicated" | "partitioned"
-    sampler: str = "sage"  # "sage" | "ladies" | "fastgcn"
-    fanout: tuple[int, ...] = (15, 10, 5)
-    batch_size: int = 1024
-    k: int | None = None  # bulk size in minibatches; None = whole epoch
-    hidden: int = 256
-    lr: float = 3e-3
-    seed: int = 0
-    train_model: bool = True
-    sparsity_aware: bool = True
-    conv: str | None = None  # model conv type; defaults per sampler
-    work_scale: float = 1.0  # sim-to-paper workload scale (see Communicator)
-    machine: MachineConfig = field(default_factory=lambda: PERLMUTTER_LIKE)
+    Kept for backward compatibility; construct :class:`RunConfig` instead
+    (same fields, plus serialization and Engine-level options).
+    """
 
     def __post_init__(self) -> None:
-        if self.algorithm not in ("replicated", "partitioned"):
-            raise ValueError(f"unknown algorithm {self.algorithm!r}")
-        if self.sampler not in _SAMPLERS:
-            raise ValueError(f"unknown sampler {self.sampler!r}")
-        if self.p <= 0 or self.c <= 0 or self.p % self.c:
-            raise ValueError("need c | p with both positive")
-        if self.k is not None and self.k <= 0:
-            raise ValueError("bulk size k must be positive")
+        warnings.warn(
+            "PipelineConfig is deprecated; use repro.api.RunConfig",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        super().__post_init__()
 
 
 class TrainingPipeline:
     """A simulated multi-GPU training run over one graph."""
 
-    def __init__(self, graph: Graph, config: PipelineConfig) -> None:
+    def __init__(self, graph: Graph, config: RunConfig) -> None:
         if graph.features is None:
             raise ValueError("pipeline needs node features")
+        config.require_trainable()
         self.graph = graph
         self.config = config
         self.comm = Communicator(
@@ -102,13 +77,13 @@ class TrainingPipeline:
         )
         self.grid = ProcessGrid(config.p, config.c)
         self.store = FeatureStore(graph.features, self.grid)
-        self.sampler = _SAMPLERS[config.sampler]()
-        if config.algorithm == "partitioned":
-            self.a_blocks = BlockRows.partition(graph.adj, self.grid.n_rows)
-        else:
-            self.a_blocks = None
+        self.sampler = make_sampler(
+            config.sampler, graph=graph, for_training=True
+        )
+        self.backend = ALGORITHMS.get(config.algorithm)()
+        self.backend.setup(self)
+        self.last_epoch_stats: EpochStats | None = None
         self._rng = np.random.default_rng(config.seed)
-        conv = config.conv or _DEFAULT_CONV[config.sampler]
         n_classes = max(2, graph.n_classes)
         self.model = GNNModel(
             graph.n_features,
@@ -116,7 +91,7 @@ class TrainingPipeline:
             n_classes,
             len(config.fanout),
             np.random.default_rng(config.seed + 1),
-            conv=conv,
+            conv=config.resolved_conv(),
         )
         self.optimizer = Adam(lr=config.lr)
         self._dims = (
@@ -129,38 +104,33 @@ class TrainingPipeline:
         )
 
     # ------------------------------------------------------------------ #
+    # Compatibility accessor (the block partition now lives on the backend)
+    # ------------------------------------------------------------------ #
+    @property
+    def a_blocks(self):
+        return getattr(self.backend, "a_blocks", None)
+
+    # ------------------------------------------------------------------ #
     # Sampling step
     # ------------------------------------------------------------------ #
     def _sample_bulk(
         self, bulk: list[np.ndarray], seed: int
     ) -> list[list[MinibatchSample]]:
         """Run one bulk sampling step; returns per-rank minibatch lists."""
-        cfg = self.config
-        if cfg.algorithm == "replicated":
-            return replicated_bulk_sampling(
-                self.comm, self.sampler, self.graph.adj, bulk, cfg.fanout,
-                seed=seed,
-            )
-        samples, owners = partitioned_bulk_sampling(
-            self.comm, self.grid, self.sampler, self.a_blocks, bulk,
-            cfg.fanout, seed=seed, sparsity_aware=cfg.sparsity_aware,
-        )
-        # Each process row's batches are trained by its c replica ranks,
-        # round-robin, so all p ranks participate in propagation.
-        per_rank: list[list[MinibatchSample]] = [
-            [] for _ in range(cfg.p)
-        ]
-        for row, idxs in enumerate(owners):
-            for pos, batch_idx in enumerate(idxs):
-                rank = self.grid.rank(row, pos % self.grid.c)
-                per_rank[rank].append(samples[batch_idx])
-        return per_rank
+        return self.backend.sample_bulk(self, bulk, seed)
 
     # ------------------------------------------------------------------ #
     # Training
     # ------------------------------------------------------------------ #
-    def train_epoch(self, epoch: int = 0) -> EpochStats:
-        """One epoch: sample all batches in bulks of k, fetch, propagate."""
+    def stream_bulks(self, epoch: int = 0) -> Iterator[BulkStats]:
+        """Generator over one epoch's bulks: sample, fetch, propagate one
+        bulk at a time, yielding a :class:`BulkStats` after each.
+
+        Sampling is lazy — bulk ``i+1`` is not sampled until the caller
+        advances past bulk ``i`` — so an epoch never needs all its samples
+        resident at once.  After exhaustion, :attr:`last_epoch_stats`
+        carries the epoch totals ``train_epoch`` would have returned.
+        """
         cfg = self.config
         self.comm.clock.reset()
         self.comm.ledger.reset()
@@ -172,6 +142,7 @@ class TrainingPipeline:
         losses: list[float] = []
         for bulk_idx, bulk in enumerate(chunk_bulks(batches, k)):
             per_rank = self._sample_bulk(bulk, seed=cfg.seed + 31 * bulk_idx + epoch)
+            bulk_losses: list[float] = []
             rounds = max(len(s) for s in per_rank)
             for t in range(rounds):
                 current = [
@@ -180,8 +151,22 @@ class TrainingPipeline:
                 fetched = self._fetch_features(current)
                 loss = self._propagate(current, fetched)
                 if loss is not None:
-                    losses.append(loss)
-        return self._epoch_stats(len(batches), losses)
+                    bulk_losses.append(loss)
+            losses.extend(bulk_losses)
+            yield BulkStats(
+                index=bulk_idx,
+                n_batches=len(bulk),
+                rounds=rounds,
+                loss=float(np.mean(bulk_losses)) if bulk_losses else None,
+            )
+        self.last_epoch_stats = self._epoch_stats(len(batches), losses)
+
+    def train_epoch(self, epoch: int = 0) -> EpochStats:
+        """One epoch: sample all batches in bulks of k, fetch, propagate."""
+        for _ in self.stream_bulks(epoch):
+            pass
+        assert self.last_epoch_stats is not None
+        return self.last_epoch_stats
 
     def _fetch_features(
         self, current: list[MinibatchSample | None]

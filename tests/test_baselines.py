@@ -13,7 +13,8 @@ from repro.baselines import (
 )
 from repro.comm import Communicator
 from repro.core import LadiesSampler, SageSampler
-from repro.pipeline import PipelineConfig, TrainingPipeline
+from repro.api import RunConfig
+from repro.pipeline import TrainingPipeline
 
 
 class TestQuiverConfig:
@@ -55,7 +56,7 @@ class TestQuiverBehavior:
         """
         p = 16
         quiver = self._epoch(perf_graph, p=p, batch_size=16)
-        cfg = PipelineConfig(
+        cfg = RunConfig(
             p=p, c=4, fanout=(5, 3), batch_size=16, train_model=False,
             work_scale=1e4,
         )

@@ -15,7 +15,8 @@ from repro.comm import Communicator, ProcessGrid
 from repro.core import FastGCNSampler, LadiesSampler, SageSampler
 from repro.distributed import partitioned_bulk_sampling
 from repro.partition import BlockRows
-from repro.pipeline import PipelineConfig, TrainingPipeline
+from repro.api import RunConfig
+from repro.pipeline import TrainingPipeline
 
 
 class TestTable2Capabilities:
@@ -25,7 +26,7 @@ class TestTable2Capabilities:
         All sampling time must be charged as device compute — host paths
         (DRAM/PCIe) are only used by the Quiver-UVA and CPU baselines.
         """
-        cfg = PipelineConfig(
+        cfg = RunConfig(
             p=4, c=2, fanout=(5, 3), batch_size=64, train_model=False
         )
         pipe = TrainingPipeline(perf_graph, cfg)

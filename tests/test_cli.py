@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
+import json
+
 import numpy as np
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import _resolve_train_config, build_parser, main
 
 
 class TestParser:
@@ -17,9 +19,54 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["sample", "citeseer"])
 
-    def test_defaults(self):
+    def test_rejects_unknown_sampler(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["train", "products", "--sampler", "magic"]
+            )
+
+    def test_registry_drives_choices(self):
+        # saint is registered trainable, so the train command accepts it.
+        args = build_parser().parse_args(
+            ["train", "products", "--sampler", "saint"]
+        )
+        assert args.sampler == "saint"
+
+    def test_train_defaults_resolve(self):
         args = build_parser().parse_args(["train", "products"])
-        assert args.p == 4 and args.algorithm == "replicated"
+        cfg = _resolve_train_config(args)
+        assert cfg.p == 4 and cfg.algorithm == "replicated"
+        assert cfg.dataset == "products"
+        assert cfg.fanout == (5, 3)  # sage's registry default_fanout
+        assert cfg.train_split == 0.5
+
+    def test_train_fanout_and_split_flags(self):
+        args = build_parser().parse_args(
+            ["train", "products", "--fanout", "7,4,2",
+             "--train-split", "0.25"]
+        )
+        cfg = _resolve_train_config(args)
+        assert cfg.fanout == (7, 4, 2)
+        assert cfg.train_split == 0.25
+
+    def test_train_default_fanout_follows_sampler(self):
+        args = build_parser().parse_args(
+            ["train", "products", "--sampler", "ladies"]
+        )
+        assert _resolve_train_config(args).fanout == (64,)
+
+    def test_config_file_with_flag_overrides(self, tmp_path):
+        from repro.api import RunConfig
+
+        path = tmp_path / "run.json"
+        RunConfig(dataset="products", scale=0.1, p=2, fanout=(5, 3),
+                  batch_size=16, epochs=5).to_json(path)
+        args = build_parser().parse_args(
+            ["train", "--config", str(path), "--epochs", "1", "--p", "4"]
+        )
+        cfg = _resolve_train_config(args)
+        assert cfg.dataset == "products" and cfg.batch_size == 16
+        assert cfg.epochs == 1 and cfg.p == 4  # flags beat the file
 
 
 class TestCommands:
@@ -28,6 +75,7 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "perlmutter-like" in out
         assert "TF/s" in out
+        assert "samplers:" in out and "saint" in out
 
     def test_generate_roundtrip(self, tmp_path, capsys):
         out_path = tmp_path / "g.npz"
@@ -76,6 +124,91 @@ class TestCommands:
         )
         assert code == 0
         assert "sim-time" in capsys.readouterr().out
+
+    def test_train_saint_first_class(self, capsys):
+        code = main(
+            [
+                "train", "products", "--sampler", "saint", "--scale", "0.1",
+                "--epochs", "1", "--p", "2", "--batch-size", "16",
+                "--fanout", "2,2",
+            ]
+        )
+        assert code == 0
+        assert "test accuracy" in capsys.readouterr().out
+
+    def test_train_respects_fanout_flag(self, capsys):
+        code = main(
+            [
+                "train", "products", "--scale", "0.1", "--epochs", "1",
+                "--p", "2", "--batch-size", "16", "--fanout", "3,2,2",
+            ]
+        )
+        assert code == 0
+        assert "test accuracy" in capsys.readouterr().out
+
+    def test_train_without_dataset_errors(self, capsys):
+        assert main(["train", "--epochs", "1"]) == 2
+        assert "no dataset" in capsys.readouterr().err
+
+    def test_train_from_config_file(self, capsys, tmp_path):
+        from repro.api import RunConfig
+
+        path = tmp_path / "run.json"
+        RunConfig(dataset="products", scale=0.1, train_split=0.5, p=2,
+                  fanout=(5, 3), batch_size=16, hidden=16,
+                  epochs=1).to_json(path)
+        assert main(["train", "--config", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "epoch 0" in out and "test accuracy" in out
+
+    def test_train_perf_only_prints_loss_na(self, capsys, tmp_path):
+        """Regression: train_model=False stats have loss=None; printing
+        must not crash on the float format."""
+        from repro.api import RunConfig
+
+        path = tmp_path / "perf.json"
+        RunConfig(dataset="products", scale=0.1, train_split=0.5, p=2,
+                  fanout=(5, 3), batch_size=16, epochs=1,
+                  train_model=False).to_json(path)
+        assert main(["train", "--config", str(path)]) == 0
+        assert "loss n/a" in capsys.readouterr().out
+
+    def test_plugin_flag_registers_sampler(self, capsys):
+        """A plugin module loaded via --plugin is usable end-to-end."""
+        code = main(
+            [
+                "--plugin", "examples.custom_sampler",
+                "sample", "products", "--sampler", "degree-biased",
+                "--scale", "0.1", "--batches", "2", "--batch-size", "8",
+                "--fanout", "3,2",
+            ]
+        )
+        assert code == 0
+        assert "degree-biased" in capsys.readouterr().out
+
+    def test_plugin_flag_works_after_subcommand(self, capsys):
+        """--plugin is position-independent (stripped before argparse)."""
+        code = main(
+            [
+                "sample", "products", "--sampler", "degree-biased",
+                "--plugin", "examples.custom_sampler",
+                "--scale", "0.1", "--batches", "2", "--batch-size", "8",
+                "--fanout", "3,2",
+            ]
+        )
+        assert code == 0
+        assert "degree-biased" in capsys.readouterr().out
+
+    def test_unknown_plugin_is_clean_error(self, capsys):
+        assert main(["--plugin", "no.such.module", "info"]) == 2
+        assert "could not import plugin" in capsys.readouterr().err
+
+    def test_garbage_fanout_is_clean_error(self, capsys):
+        code = main(
+            ["train", "products", "--scale", "0.1", "--fanout", "5,x"]
+        )
+        assert code == 2
+        assert "comma-separated integers" in capsys.readouterr().err
 
     def test_sweep(self, capsys):
         code = main(["sweep", "products", "--gpus", "4,8"])

@@ -6,12 +6,13 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.pipeline import EpochStats, PipelineConfig, TrainingPipeline
+from repro.api import RunConfig
+from repro.pipeline import EpochStats, TrainingPipeline
 
 
 class TestEpochScheduling:
     def test_k_larger_than_epoch_is_one_bulk(self, labeled_graph):
-        cfg = PipelineConfig(
+        cfg = RunConfig(
             p=2, c=1, fanout=(4,), batch_size=32, hidden=8, k=10**6,
             train_model=False,
         )
@@ -23,7 +24,7 @@ class TestEpochScheduling:
         sampling time than the full bulk."""
         times = {}
         for k in (1, None):
-            cfg = PipelineConfig(
+            cfg = RunConfig(
                 p=2, c=1, fanout=(4,), batch_size=32, hidden=8, k=k,
                 train_model=False,
             )
@@ -35,7 +36,7 @@ class TestEpochScheduling:
         p = 8
         batch_size = 128
         assert p > labeled_graph.num_batches(batch_size)  # idle ranks exist
-        cfg = PipelineConfig(
+        cfg = RunConfig(
             p=p, c=2, fanout=(4,), batch_size=batch_size, hidden=8,
             train_model=False,
         )
@@ -43,7 +44,7 @@ class TestEpochScheduling:
         assert stats.total > 0
 
     def test_single_rank_world(self, labeled_graph):
-        cfg = PipelineConfig(
+        cfg = RunConfig(
             p=1, c=1, fanout=(4,), batch_size=32, hidden=8, lr=0.01
         )
         pipe = TrainingPipeline(labeled_graph, cfg)
@@ -56,7 +57,7 @@ class TestTrainerRobustness:
     def test_deterministic_same_seed(self, labeled_graph):
         losses = []
         for _ in range(2):
-            cfg = PipelineConfig(
+            cfg = RunConfig(
                 p=2, c=1, fanout=(4, 3), batch_size=32, hidden=8, lr=0.01,
                 seed=42,
             )
@@ -67,7 +68,7 @@ class TestTrainerRobustness:
     def test_different_seeds_differ(self, labeled_graph):
         losses = []
         for seed in (0, 1):
-            cfg = PipelineConfig(
+            cfg = RunConfig(
                 p=2, c=1, fanout=(4, 3), batch_size=32, hidden=8, lr=0.01,
                 seed=seed,
             )
@@ -75,7 +76,7 @@ class TestTrainerRobustness:
         assert losses[0] != losses[1]
 
     def test_gat_conv_override(self, labeled_graph):
-        cfg = PipelineConfig(
+        cfg = RunConfig(
             p=2, c=1, fanout=(4,), batch_size=32, hidden=8, conv="gat",
             lr=0.01,
         )

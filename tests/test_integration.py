@@ -16,7 +16,8 @@ from repro.comm import Communicator, ProcessGrid
 from repro.core import LadiesSampler, SageSampler
 from repro.distributed import partitioned_bulk_sampling
 from repro.partition import BlockRows
-from repro.pipeline import PipelineConfig, TrainingPipeline
+from repro.api import RunConfig
+from repro.pipeline import TrainingPipeline
 
 
 @pytest.fixture(scope="module")
@@ -122,7 +123,7 @@ class TestEndToEnd:
             ("ladies", (64,)),
             ("fastgcn", (64,)),
         ):
-            cfg = PipelineConfig(
+            cfg = RunConfig(
                 p=2, c=1, sampler=sampler, fanout=fanout, batch_size=32,
                 hidden=32, lr=0.01, seed=1,
             )

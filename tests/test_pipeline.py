@@ -5,12 +5,12 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.api import RunConfig
 from repro.config import SAGE_ARCH
 from repro.graphs.datasets import PAPER_DATASETS
 from repro.pipeline import (
     EpochStats,
     MemoryModel,
-    PipelineConfig,
     TrainingPipeline,
     choose_c_k,
     quiver_fits,
@@ -20,25 +20,25 @@ from repro.pipeline import (
 class TestConfigValidation:
     def test_rejects_bad_combinations(self):
         with pytest.raises(ValueError):
-            PipelineConfig(p=4, algorithm="magic")
+            RunConfig(p=4, algorithm="magic")
         with pytest.raises(ValueError):
-            PipelineConfig(p=4, sampler="magic")
+            RunConfig(p=4, sampler="magic")
         with pytest.raises(ValueError):
-            PipelineConfig(p=4, c=3)
+            RunConfig(p=4, c=3)
         with pytest.raises(ValueError):
-            PipelineConfig(p=4, k=0)
+            RunConfig(p=4, k=0)
 
     def test_requires_features(self, small_adj):
         from repro.graphs import Graph
 
         g = Graph("bare", small_adj, train_idx=np.arange(10))
         with pytest.raises(ValueError):
-            TrainingPipeline(g, PipelineConfig(p=2, fanout=(3,)))
+            TrainingPipeline(g, RunConfig(p=2, fanout=(3,)))
 
 
 class TestTraining:
     def test_loss_decreases(self, labeled_graph):
-        cfg = PipelineConfig(
+        cfg = RunConfig(
             p=2, c=1, fanout=(5, 3), batch_size=32, hidden=16, lr=0.01
         )
         pipe = TrainingPipeline(labeled_graph, cfg)
@@ -48,7 +48,7 @@ class TestTraining:
         assert last < first
 
     def test_learns_planted_labels(self, labeled_graph):
-        cfg = PipelineConfig(
+        cfg = RunConfig(
             p=2, c=1, fanout=(5, 3), batch_size=32, hidden=32, lr=0.01
         )
         pipe = TrainingPipeline(labeled_graph, cfg)
@@ -60,7 +60,7 @@ class TestTraining:
         """Section 8.1.3: bulk sampling must not change final accuracy."""
         accs = {}
         for k in (None, 2):  # all-at-once vs tiny bulks
-            cfg = PipelineConfig(
+            cfg = RunConfig(
                 p=2, c=1, fanout=(5, 3), batch_size=32, hidden=32,
                 lr=0.01, k=k, seed=0,
             )
@@ -73,7 +73,7 @@ class TestTraining:
     def test_accuracy_parity_replicated_vs_partitioned(self, labeled_graph):
         accs = {}
         for algo in ("replicated", "partitioned"):
-            cfg = PipelineConfig(
+            cfg = RunConfig(
                 p=4, c=2, algorithm=algo, fanout=(5, 3), batch_size=32,
                 hidden=32, lr=0.01, seed=0,
             )
@@ -84,7 +84,7 @@ class TestTraining:
         assert abs(accs["replicated"] - accs["partitioned"]) < 0.05
 
     def test_ladies_pipeline_trains(self, labeled_graph):
-        cfg = PipelineConfig(
+        cfg = RunConfig(
             p=2, c=1, sampler="ladies", fanout=(64,), batch_size=32,
             hidden=32, lr=0.01,
         )
@@ -95,7 +95,7 @@ class TestTraining:
         assert last < first
 
     def test_fastgcn_pipeline_runs(self, labeled_graph):
-        cfg = PipelineConfig(
+        cfg = RunConfig(
             p=2, c=1, sampler="fastgcn", fanout=(64,), batch_size=32,
             hidden=16,
         )
@@ -105,7 +105,7 @@ class TestTraining:
 
 class TestPhaseAccounting:
     def test_stats_have_all_phases(self, perf_graph):
-        cfg = PipelineConfig(
+        cfg = RunConfig(
             p=4, c=2, fanout=(5, 3), batch_size=64, train_model=False
         )
         stats = TrainingPipeline(perf_graph, cfg).train_epoch()
@@ -120,7 +120,7 @@ class TestPhaseAccounting:
         assert "loss" not in row and row["batches"] == stats.n_batches
 
     def test_partitioned_sub_phases(self, perf_graph):
-        cfg = PipelineConfig(
+        cfg = RunConfig(
             p=4, c=2, algorithm="partitioned", fanout=(5, 3), batch_size=64,
             train_model=False,
         )
@@ -128,7 +128,7 @@ class TestPhaseAccounting:
         assert {"probability", "sampling", "extraction"} <= set(stats.sub_phases)
 
     def test_comm_comp_split_covers_phases(self, perf_graph):
-        cfg = PipelineConfig(
+        cfg = RunConfig(
             p=4, c=2, algorithm="partitioned", fanout=(5, 3), batch_size=64,
             train_model=False,
         )
@@ -136,7 +136,7 @@ class TestPhaseAccounting:
         assert stats.comm_seconds > 0 and stats.comp_seconds > 0
 
     def test_epoch_stats_reset_between_epochs(self, perf_graph):
-        cfg = PipelineConfig(
+        cfg = RunConfig(
             p=2, c=1, fanout=(5,), batch_size=64, train_model=False
         )
         pipe = TrainingPipeline(perf_graph, cfg)
@@ -149,7 +149,7 @@ class TestPhaseAccounting:
         """Figure 6: no replication (c=1) pays more feature-fetch time."""
         times = {}
         for c in (1, 4):
-            cfg = PipelineConfig(
+            cfg = RunConfig(
                 p=8, c=c, fanout=(5, 3), batch_size=64, train_model=False,
                 work_scale=1e4,
             )
