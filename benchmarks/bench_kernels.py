@@ -3,16 +3,41 @@
 Unlike the figure benchmarks — which report *simulated* seconds — these
 track the real execution speed of the reproduction's hot kernels, so
 regressions in the numpy implementations are visible.
+
+The SpGEMM benchmarks sweep every backend registered in
+:data:`repro.sparse.KERNELS`, so a new backend is benchmarked (and checked
+against the reference result) just by registering it.
+
+The file also runs as a script for the kernel-vs-kernel comparison on the
+LADIES frontier workload (the duplicate-heavy ``Q A`` product the hash
+backend targets)::
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py --kernel hash
+    PYTHONPATH=src python benchmarks/bench_kernels.py --kernel scipy --log-n 14
 """
 
 from __future__ import annotations
+
+import argparse
+import sys
+import time
 
 import numpy as np
 import pytest
 
 from repro.core import LadiesSampler, SageSampler, its_sample_rows
 from repro.graphs import rmat
-from repro.sparse import row_normalize, spgemm, spmm, sprand
+from repro.sparse import (
+    KERNELS,
+    get_kernel,
+    indicator_rows,
+    row_normalize,
+    spgemm,
+    spmm,
+    sprand,
+)
+
+KERNEL_NAMES = KERNELS.names()
 
 
 @pytest.fixture(scope="module")
@@ -28,20 +53,33 @@ def medium_batches(medium_adj):
     ]
 
 
-def test_spgemm_kernel(benchmark):
+@pytest.mark.parametrize("kernel", KERNEL_NAMES)
+def test_spgemm_kernel(benchmark, kernel):
     rng = np.random.default_rng(2)
     a = sprand(2000, 2000, 0.005, rng)
     b = sprand(2000, 2000, 0.005, rng)
-    out = benchmark(spgemm, a, b)
+    out = benchmark(KERNELS.get(kernel).spgemm, a, b)
     assert out.nnz > 0
+    assert out.equal(spgemm(a, b), 1e-9)
 
 
-def test_spmm_kernel(benchmark):
+@pytest.mark.parametrize("kernel", KERNEL_NAMES)
+def test_ladies_frontier_spgemm(benchmark, kernel, medium_adj, medium_batches):
+    """The duplicate-heavy LADIES probability product ``Q A``."""
+    q = LadiesSampler.make_q(medium_batches, medium_adj.shape[0])
+    out = benchmark(KERNELS.get(kernel).spgemm, q, medium_adj)
+    assert out.nnz > 0
+    assert out.equal(spgemm(q, medium_adj), 1e-9)
+
+
+@pytest.mark.parametrize("kernel", KERNEL_NAMES)
+def test_spmm_kernel(benchmark, kernel):
     rng = np.random.default_rng(3)
     a = sprand(5000, 5000, 0.002, rng)
     x = rng.standard_normal((5000, 64))
-    out = benchmark(spmm, a, x)
+    out = benchmark(KERNELS.get(kernel).spmm, a, x)
     assert out.shape == (5000, 64)
+    assert np.allclose(out, spmm(a, x))
 
 
 def test_its_kernel(benchmark, medium_adj):
@@ -65,8 +103,9 @@ def test_bulk_sage_sampling(benchmark, medium_adj, medium_batches):
     assert len(out) == len(medium_batches)
 
 
-def test_bulk_ladies_sampling(benchmark, medium_adj, medium_batches):
-    sampler = LadiesSampler()
+@pytest.mark.parametrize("kernel", KERNEL_NAMES)
+def test_bulk_ladies_sampling(benchmark, medium_adj, medium_batches, kernel):
+    sampler = LadiesSampler(kernel=kernel)
     rng = np.random.default_rng(6)
     out = benchmark(
         sampler.sample_bulk, medium_adj, medium_batches, (256,), rng
@@ -77,3 +116,80 @@ def test_bulk_ladies_sampling(benchmark, medium_adj, medium_batches):
 def test_rmat_generation(benchmark):
     out = benchmark(rmat, 11, 8, np.random.default_rng(7))
     assert out.shape == (2048, 2048)
+
+
+# ---------------------------------------------------------------------- #
+# Script mode: kernel comparison on the LADIES frontier workload
+# ---------------------------------------------------------------------- #
+def _best_of(fn, *args, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn(*args)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Compare one kernel backend against a baseline on the LADIES
+    frontier products and a full bulk LADIES sampling pass."""
+    parser = argparse.ArgumentParser(
+        description="Sparse-kernel backend comparison (LADIES frontier workload)"
+    )
+    parser.add_argument("--kernel", default="hash", choices=KERNELS.names())
+    parser.add_argument("--baseline", default="esc", choices=KERNELS.names())
+    parser.add_argument("--log-n", type=int, default=13,
+                        help="rmat scale: 2^log_n vertices (default 13)")
+    parser.add_argument("--degree", type=int, default=16)
+    parser.add_argument("--batches", type=int, default=16)
+    parser.add_argument("--batch-size", type=int, default=512)
+    parser.add_argument("--fanout", type=int, default=256)
+    parser.add_argument("--repeats", type=int, default=5)
+    args = parser.parse_args(argv)
+
+    rng = np.random.default_rng(0)
+    adj = rmat(args.log_n, args.degree, rng)
+    n = adj.shape[0]
+    batches = [
+        rng.choice(n, min(args.batch_size, n), replace=False)
+        for _ in range(args.batches)
+    ]
+    q = LadiesSampler.make_q(batches, n)
+    kern = get_kernel(args.kernel)
+    base = get_kernel(args.baseline)
+
+    out = kern.spgemm(q, adj)
+    ref = base.spgemm(q, adj)
+    out.check()
+    if not out.equal(ref, 1e-9):
+        print(f"error: {args.kernel} result differs from {args.baseline}",
+              file=sys.stderr)
+        return 1
+
+    print(f"LADIES frontier workload: {n} vertices, {adj.nnz} edges, "
+          f"{args.batches} batches x {len(batches[0])} vertices")
+    rows = []
+    t_base = _best_of(base.spgemm, q, adj, repeats=args.repeats)
+    t_kern = _best_of(kern.spgemm, q, adj, repeats=args.repeats)
+    rows.append(("frontier SpGEMM (Q A)", t_base, t_kern))
+
+    def bulk(kernel_name):
+        sampler = LadiesSampler(kernel=kernel_name)
+        sampler.sample_bulk(
+            adj, batches, (args.fanout,), np.random.default_rng(1)
+        )
+
+    t_base = _best_of(bulk, args.baseline, repeats=max(1, args.repeats // 2))
+    t_kern = _best_of(bulk, args.kernel, repeats=max(1, args.repeats // 2))
+    rows.append(("bulk LADIES sampling", t_base, t_kern))
+
+    width = max(len(r[0]) for r in rows)
+    print(f"{'workload':<{width}}  {args.baseline:>10}  {args.kernel:>10}  speedup")
+    for name, tb, tk in rows:
+        print(f"{name:<{width}}  {tb * 1e3:8.2f}ms  {tk * 1e3:8.2f}ms  "
+              f"{tb / tk:6.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

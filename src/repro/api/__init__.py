@@ -2,10 +2,10 @@
 
 Everything user-facing goes through three pieces:
 
-* **Registries** (:data:`SAMPLERS`, :data:`ALGORITHMS`, :data:`DATASETS`) —
-  the only name -> implementation tables in the system.  Plugins register
-  here and become available to the CLI, the pipeline, the benchmarks and
-  the Engine at once.
+* **Registries** (:data:`SAMPLERS`, :data:`ALGORITHMS`, :data:`DATASETS`,
+  :data:`KERNELS`) — the only name -> implementation tables in the system.
+  Plugins register here and become available to the CLI, the pipeline, the
+  benchmarks and the Engine at once.
 * **RunConfig** — a validated, JSON-round-trippable description of a run.
 * **Engine** — owns graph + config + execution backend; exposes
   ``sample()``, ``train()``, ``evaluate()`` and the generator
@@ -38,6 +38,7 @@ from .registries import (
     make_sampler,
 )
 from .registry import Registry, RegistryEntry, RegistryKeyError
+from ..sparse.kernels import KERNELS
 
 __all__ = [
     "Registry",
@@ -47,6 +48,7 @@ __all__ = [
     "SAMPLERS",
     "ALGORITHMS",
     "DATASETS",
+    "KERNELS",
     "make_sampler",
     "load_graph_from_registry",
     "ExecutionBackend",

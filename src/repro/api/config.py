@@ -23,6 +23,7 @@ from pathlib import Path
 from typing import Any
 
 from ..config import DeviceModel, LinkModel, MachineConfig, PERLMUTTER_LIKE
+from ..sparse.kernels import KERNELS
 from .registries import (
     ALGORITHMS,
     DATASETS,
@@ -79,6 +80,7 @@ class RunConfig:
     train_split: float | None = None  # override train fraction; None = keep
     epochs: int = 3  # default epoch count for engine.train()
     dataset_kwargs: dict[str, Any] = field(default_factory=dict)
+    kernel: str = "esc"  # sparse-kernel backend (repro.sparse.KERNELS key)
 
     def __post_init__(self) -> None:
         if isinstance(self.fanout, list):
@@ -99,6 +101,11 @@ class RunConfig:
             raise ValueError(
                 f"unknown dataset {self.dataset!r}; known datasets: "
                 f"{', '.join(DATASETS.names())}"
+            )
+        if self.kernel not in KERNELS:
+            raise ValueError(
+                f"unknown kernel {self.kernel!r}; known kernels: "
+                f"{', '.join(KERNELS.names())}"
             )
         check_sampler_supports(self.sampler, self.algorithm)
         if self.p <= 0 or self.c <= 0 or self.p % self.c:

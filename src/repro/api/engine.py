@@ -105,7 +105,8 @@ class Engine:
         """The registry-built sampler instance used by :meth:`sample`."""
         if self._sampler is None:
             self._sampler = make_sampler(
-                self.config.sampler, graph=self.graph, for_training=True
+                self.config.sampler, graph=self.graph, for_training=True,
+                kernel=self.config.kernel,
             )
         return self._sampler
 

@@ -32,8 +32,8 @@ __all__ = ["main", "build_parser"]
 #: ``repro train`` flags that override the corresponding RunConfig field
 #: (None = not given, fall back to --config / defaults).
 _TRAIN_OVERRIDES = (
-    "scale", "epochs", "p", "c", "algorithm", "sampler", "batch_size",
-    "seed", "hidden", "lr", "k", "train_split",
+    "scale", "epochs", "p", "c", "algorithm", "sampler", "kernel",
+    "batch_size", "seed", "hidden", "lr", "k", "train_split",
 )
 
 
@@ -54,11 +54,12 @@ def _user_error(exc: object) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
-    from repro.api import ALGORITHMS, DATASETS, SAMPLERS
+    from repro.api import ALGORITHMS, DATASETS, KERNELS, SAMPLERS
 
     datasets = DATASETS.names()
     samplers = SAMPLERS.names()
     algorithms = ALGORITHMS.names()
+    kernels = KERNELS.names()
     sweep_algorithms = [
         n for n in algorithms if ALGORITHMS.spec(n).meta("scalable", True)
     ]
@@ -89,6 +90,8 @@ def build_parser() -> argparse.ArgumentParser:
     smp.add_argument("--batches", type=int, default=8)
     smp.add_argument("--batch-size", type=int, default=32)
     smp.add_argument("--fanout", default="5,3")
+    smp.add_argument("--kernel", default=None, choices=kernels,
+                     help="sparse-kernel backend, default esc")
     smp.add_argument("--seed", type=int, default=0)
 
     trn = sub.add_parser(
@@ -109,6 +112,8 @@ def build_parser() -> argparse.ArgumentParser:
                      help="bulk size in minibatches, default whole epoch")
     trn.add_argument("--algorithm", default=None, choices=algorithms)
     trn.add_argument("--sampler", default=None, choices=samplers)
+    trn.add_argument("--kernel", default=None, choices=kernels,
+                     help="sparse-kernel backend, default esc")
     trn.add_argument("--fanout", default=None, metavar="N,N,...",
                      help="per-layer sample counts; default per sampler")
     trn.add_argument("--train-split", type=float, default=None,
@@ -129,7 +134,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _cmd_info() -> int:
     import repro
-    from repro.api import ALGORITHMS, SAMPLERS
+    from repro.api import ALGORITHMS, KERNELS, SAMPLERS
     from repro.config import PERLMUTTER_LIKE
 
     m = PERLMUTTER_LIKE
@@ -142,6 +147,7 @@ def _cmd_info() -> int:
     print(f"  inter-node link: {1 / m.inter_node.beta / 1e9:.0f} GB/s")
     print(f"samplers: {', '.join(SAMPLERS.names())}")
     print(f"algorithms: {', '.join(ALGORITHMS.names())}")
+    print(f"kernels: {', '.join(KERNELS.names())}")
     return 0
 
 
@@ -172,7 +178,7 @@ def _cmd_sample(args) -> int:
         graph = load_graph_from_registry(
             args.dataset, scale=args.scale, seed=args.seed
         )
-        sampler = make_sampler(args.sampler, graph=graph)
+        sampler = make_sampler(args.sampler, graph=graph, kernel=args.kernel)
     except (ValueError, KeyError) as exc:
         return _user_error(exc)
     rng = np.random.default_rng(args.seed)

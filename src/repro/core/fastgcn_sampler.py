@@ -20,7 +20,7 @@ from typing import Sequence
 
 import numpy as np
 
-from ..sparse import CSRMatrix, row_normalize, spgemm, vstack
+from ..sparse import CSRMatrix, row_normalize, vstack
 from .frontier import LayerSample, MinibatchSample
 from .ladies_sampler import LadiesSampler
 from .sampler_base import SpGEMMFn
@@ -56,8 +56,9 @@ class FastGCNSampler(LadiesSampler):
         fanout: Sequence[int],
         rng: np.random.Generator,
         *,
-        spgemm_fn: SpGEMMFn = spgemm,
+        spgemm_fn: SpGEMMFn | None = None,
     ) -> list[MinibatchSample]:
+        spgemm_fn = self._resolve_spgemm(spgemm_fn)
         self._validate(adj, batches, fanout)
         k = len(batches)
         dst_lists = [np.asarray(b, dtype=np.int64) for b in batches]

@@ -58,8 +58,9 @@ class LadiesSampler(MatrixSampler):
         split_col_extract: bool = True,
         debias: bool = False,
         sample_backend: str = "its",
+        kernel=None,
     ) -> None:
-        super().__init__(sample_backend)
+        super().__init__(sample_backend, kernel)
         if debias and include_dst:
             raise ValueError(
                 "debias needs pure LADIES samples: destinations unioned "
@@ -123,7 +124,7 @@ class LadiesSampler(MatrixSampler):
         dst_lists: Sequence[np.ndarray],
         sampled_lists: Sequence[np.ndarray],
         *,
-        spgemm_fn: SpGEMMFn = spgemm,
+        spgemm_fn: SpGEMMFn | None = None,
     ) -> list[CSRMatrix]:
         """Per-batch column extraction ``A_Si = A_Ri Q_Ci``.
 
@@ -131,6 +132,7 @@ class LadiesSampler(MatrixSampler):
         rows matching ``dst_lists[i]``.  Returns one ``(b_i, s_i)`` sampled
         adjacency per batch.
         """
+        spgemm_fn = self._resolve_spgemm(spgemm_fn)
         bounds = np.cumsum([0] + [len(d) for d in dst_lists])
         n = a_r.shape[1]
         if self.split_col_extract:
@@ -159,7 +161,7 @@ class LadiesSampler(MatrixSampler):
         q_c = CSRMatrix.from_coo(
             qc_rows, qc_cols, None, (len(dst_lists) * n, s_max)
         )
-        a_s = spgemm(block_diag(blocks), q_c)
+        a_s = spgemm_fn(block_diag(blocks), q_c)
         out = []
         for i, sampled in enumerate(sampled_lists):
             rows = a_s.row_block(int(bounds[i]), int(bounds[i + 1]))
@@ -178,8 +180,9 @@ class LadiesSampler(MatrixSampler):
         fanout: Sequence[int],
         rng: np.random.Generator,
         *,
-        spgemm_fn: SpGEMMFn = spgemm,
+        spgemm_fn: SpGEMMFn | None = None,
     ) -> list[MinibatchSample]:
+        spgemm_fn = self._resolve_spgemm(spgemm_fn)
         n = self._validate(adj, batches, fanout)
         k = len(batches)
         dst_lists = [np.asarray(b, dtype=np.int64) for b in batches]

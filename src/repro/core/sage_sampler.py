@@ -22,7 +22,6 @@ from ..sparse import (
     compact_columns,
     row_normalize,
     row_selector,
-    spgemm,
 )
 from .frontier import LayerSample, MinibatchSample
 from .sampler_base import MatrixSampler, SpGEMMFn
@@ -41,9 +40,13 @@ class SageSampler(MatrixSampler):
     name = "graphsage"
 
     def __init__(
-        self, *, include_dst: bool = True, sample_backend: str = "its"
+        self,
+        *,
+        include_dst: bool = True,
+        sample_backend: str = "its",
+        kernel=None,
     ) -> None:
-        super().__init__(sample_backend)
+        super().__init__(sample_backend, kernel)
         self.include_dst = include_dst
 
     # ------------------------------------------------------------------ #
@@ -95,8 +98,9 @@ class SageSampler(MatrixSampler):
         fanout: Sequence[int],
         rng: np.random.Generator,
         *,
-        spgemm_fn: SpGEMMFn = spgemm,
+        spgemm_fn: SpGEMMFn | None = None,
     ) -> list[MinibatchSample]:
+        spgemm_fn = self._resolve_spgemm(spgemm_fn)
         n = self._validate(adj, batches, fanout)
         k = len(batches)
         dst_lists: list[np.ndarray] = [np.asarray(b, dtype=np.int64) for b in batches]

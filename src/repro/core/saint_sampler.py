@@ -26,7 +26,7 @@ from typing import Sequence
 
 import numpy as np
 
-from ..sparse import CSRMatrix, row_selector, spgemm
+from ..sparse import CSRMatrix, row_selector
 from .frontier import LayerSample, MinibatchSample
 from .sage_sampler import SageSampler
 from .sampler_base import SpGEMMFn
@@ -45,8 +45,12 @@ class GraphSaintRWSampler(SageSampler):
 
     name = "graphsaint-rw"
 
-    def __init__(self, *, walk_length: int = 3, sample_backend: str = "its") -> None:
-        super().__init__(include_dst=True, sample_backend=sample_backend)
+    def __init__(
+        self, *, walk_length: int = 3, sample_backend: str = "its", kernel=None
+    ) -> None:
+        super().__init__(
+            include_dst=True, sample_backend=sample_backend, kernel=kernel
+        )
         if walk_length <= 0:
             raise ValueError("walk_length must be positive")
         self.walk_length = walk_length
@@ -79,9 +83,10 @@ class GraphSaintRWSampler(SageSampler):
         adj: CSRMatrix,
         vertices: np.ndarray,
         *,
-        spgemm_fn: SpGEMMFn = spgemm,
+        spgemm_fn: SpGEMMFn | None = None,
     ) -> CSRMatrix:
         """EXTRACT: ``A`` restricted to ``vertices`` on both axes."""
+        spgemm_fn = self._resolve_spgemm(spgemm_fn)
         rows = spgemm_fn(row_selector(vertices, adj.shape[0]), adj)
         mask = np.zeros(adj.shape[1], dtype=bool)
         mask[vertices] = True
@@ -94,8 +99,9 @@ class GraphSaintRWSampler(SageSampler):
         fanout: Sequence[int],
         rng: np.random.Generator,
         *,
-        spgemm_fn: SpGEMMFn = spgemm,
+        spgemm_fn: SpGEMMFn | None = None,
     ) -> list[MinibatchSample]:
+        spgemm_fn = self._resolve_spgemm(spgemm_fn)
         self._validate(adj, batches, fanout)
         n_layers = len(fanout)
         # Bulk: all batches' walks run in one stacked frontier per step.

@@ -26,7 +26,8 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from ..sparse import CSRMatrix, spgemm
+from ..sparse import CSRMatrix
+from ..sparse.kernels import KernelSpec, get_kernel
 from .frontier import MinibatchSample
 from .its import gumbel_topk_rows, its_sample_rows
 
@@ -42,15 +43,31 @@ class MatrixSampler(ABC):
 
     ``sample_backend`` selects the SAMPLE implementation: ``"its"`` (the
     paper's inverse transform sampling) or ``"gumbel"`` (equivalent
-    distribution, single pass).
+    distribution, single pass).  ``kernel`` selects the sparse-kernel
+    backend (a :data:`repro.sparse.KERNELS` name or a
+    :class:`~repro.sparse.KernelBackend` instance) used for the sampler's
+    own SpGEMMs; ``None`` means the process-wide default.  The spec is
+    kept as given and resolved per call, so a ``None``-kernel sampler
+    tracks later :func:`~repro.sparse.set_default_kernel` /
+    :func:`~repro.sparse.use_kernel` changes instead of snapshotting the
+    default at construction.
     """
 
     name: str = "abstract"
 
-    def __init__(self, sample_backend: str = "its") -> None:
+    def __init__(
+        self, sample_backend: str = "its", kernel: KernelSpec = None
+    ) -> None:
         if sample_backend not in ("its", "gumbel"):
             raise ValueError(f"unknown sample backend {sample_backend!r}")
         self.sample_backend = sample_backend
+        get_kernel(kernel)  # fail fast on a typo'd registry name
+        self.kernel = kernel
+
+    def _resolve_spgemm(self, spgemm_fn: SpGEMMFn | None) -> SpGEMMFn:
+        """The SpGEMM to use: an explicit override (e.g. a distributed or
+        recording wrapper) or this sampler's kernel backend."""
+        return get_kernel(self.kernel).spgemm if spgemm_fn is None else spgemm_fn
 
     # ------------------------------------------------------------------ #
     # Algorithm-1 pieces
@@ -78,13 +95,15 @@ class MatrixSampler(ABC):
         fanout: Sequence[int],
         rng: np.random.Generator,
         *,
-        spgemm_fn: SpGEMMFn = spgemm,
+        spgemm_fn: SpGEMMFn | None = None,
     ) -> list[MinibatchSample]:
         """Sample ``len(batches)`` minibatches in one bulk pass.
 
         ``fanout[0]`` is the sample count for the layer adjacent to the
         batch (the paper's layer ``L``) and ``fanout[-1]`` the furthest.
         Returns one :class:`MinibatchSample` per input batch, in order.
+        ``spgemm_fn=None`` uses the sampler's kernel backend; distributed
+        drivers and cost recorders pass their own wrapper.
         """
 
     # ------------------------------------------------------------------ #

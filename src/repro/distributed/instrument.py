@@ -20,7 +20,8 @@ import numpy as np
 
 from ..comm import Communicator
 from ..core.its import its_flops
-from ..sparse import CSRMatrix, spgemm, spgemm_flops
+from ..sparse import CSRMatrix, spgemm_flops
+from ..sparse.kernels import KernelSpec, get_kernel
 
 __all__ = [
     "RecordingSpGEMM",
@@ -45,12 +46,19 @@ CALL_OVERHEAD_S = 5e-3
 
 @dataclass
 class RecordingSpGEMM:
-    """A drop-in ``spgemm_fn`` that records the cost of every call."""
+    """A drop-in ``spgemm_fn`` that records the cost of every call.
+
+    ``kernel`` selects the backend that actually executes the products (a
+    :data:`repro.sparse.KERNELS` name or instance; ``None`` = process
+    default).  The recorded cost model is kernel-independent: it counts
+    the expansion work every SpGEMM formulation performs.
+    """
 
     flops: float = 0.0
     nbytes: float = 0.0
     kernels: int = 0
     outputs: list[CSRMatrix] = field(default_factory=list)
+    kernel: KernelSpec = None
 
     def __call__(self, a: CSRMatrix, b: CSRMatrix) -> CSRMatrix:
         expansion = spgemm_flops(a, b)
@@ -66,7 +74,7 @@ class RecordingSpGEMM:
             a.shape[0] + b.shape[0]
         )
         self.kernels += 2
-        out = spgemm(a, b)
+        out = get_kernel(self.kernel).spgemm(a, b)
         self.outputs.append(out)
         return out
 

@@ -28,6 +28,7 @@ from ..core import (
 from ..core.frontier import LayerSample
 from ..partition.block1d import BlockRows
 from ..sparse import CSRMatrix, row_selector
+from ..sparse.kernels import get_kernel
 from .instrument import sample_norm_flops
 from .spgemm_15d import spgemm_15d
 
@@ -67,13 +68,18 @@ def partitioned_bulk_sampling(
     seed: int = 0,
     *,
     sparsity_aware: bool = True,
+    kernel=None,
 ) -> tuple[list[MinibatchSample], list[list[int]]]:
     """Sample one bulk of minibatches with the 1.5D partitioned algorithm.
 
     ``a_blocks`` must be partitioned into ``grid.n_rows`` block rows.
-    Batches are assigned round-robin to process rows.  Returns the samples
-    in the input batch order plus the per-process-row ownership lists.
+    Batches are assigned round-robin to process rows.  ``kernel`` selects
+    the local SpGEMM backend of the distributed products (``None`` = the
+    sampler's own backend).  Returns the samples in the input batch order
+    plus the per-process-row ownership lists.
     """
+    if kernel is None:
+        kernel = getattr(sampler, "kernel", None)
     if a_blocks.n_blocks != grid.n_rows:
         raise ValueError(
             f"A must be partitioned into {grid.n_rows} block rows, "
@@ -90,17 +96,17 @@ def partitioned_bulk_sampling(
     if isinstance(sampler, FastGCNSampler):
         samples_by_row = _fastgcn_partitioned(
             comm, grid, sampler, a_blocks, batches, owners, fanout, rngs,
-            sparsity_aware,
+            sparsity_aware, kernel,
         )
     elif isinstance(sampler, LadiesSampler):
         samples_by_row = _ladies_partitioned(
             comm, grid, sampler, a_blocks, batches, owners, fanout, rngs,
-            sparsity_aware,
+            sparsity_aware, kernel,
         )
     elif isinstance(sampler, SageSampler):
         samples_by_row = _sage_partitioned(
             comm, grid, sampler, a_blocks, batches, owners, fanout, rngs,
-            sparsity_aware,
+            sparsity_aware, kernel,
         )
     else:
         raise TypeError(
@@ -128,6 +134,7 @@ def _sage_partitioned(
     fanout: Sequence[int],
     rngs: list[np.random.Generator],
     sparsity_aware: bool,
+    kernel=None,
 ) -> list[list[MinibatchSample]]:
     n = a_blocks.n_cols
     n_rows = grid.n_rows
@@ -153,7 +160,7 @@ def _sage_partitioned(
                 _charge_row(comm, grid, row, nbytes=16.0 * frontier.size)
             p_blocks = spgemm_15d(
                 comm, grid, _make_q_blocks(q_rows, n), a_blocks,
-                sparsity_aware=sparsity_aware,
+                sparsity_aware=sparsity_aware, kernel=kernel,
             )
         # --- sampling: row-local NORM + SAMPLE ------------------------- #
         q_next_by_row = []
@@ -207,6 +214,7 @@ def _ladies_extraction_step(
     sampled_by_row: list[list[np.ndarray]],
     layers_rev: list[list[list[LayerSample]]],
     sparsity_aware: bool,
+    kernel=None,
 ) -> None:
     """Distributed row extraction (1.5D SpGEMM) followed by per-batch column
     extraction split across each process row's replicas (section 5.2.3)."""
@@ -223,14 +231,20 @@ def _ladies_extraction_step(
             qr_rows.append(row_selector(stacked, n))
         ar_blocks = spgemm_15d(
             comm, grid, _make_q_blocks(qr_rows, n), a_blocks,
-            sparsity_aware=sparsity_aware,
+            sparsity_aware=sparsity_aware, kernel=kernel,
         )
         for row in range(n_rows):
             a_r = ar_blocks[row]
             dsts = dst_by_row[row]
             if not dsts:
                 continue
-            adjs = sampler.col_extract(a_r, dsts, sampled_by_row[row])
+            # Thread the selected kernel explicitly: col_extract would
+            # otherwise fall back to the sampler's own backend, losing a
+            # kernel= override on the product that dominates LADIES.
+            adjs = sampler.col_extract(
+                a_r, dsts, sampled_by_row[row],
+                spgemm_fn=get_kernel(kernel).spgemm,
+            )
             # The per-batch column-extraction SpGEMMs are split across the
             # process row's c replicas, then results are all-gathered
             # (section 5.2.3) so every replica holds every batch.
@@ -277,6 +291,7 @@ def _fastgcn_partitioned(
     fanout: Sequence[int],
     rngs: list[np.random.Generator],
     sparsity_aware: bool,
+    kernel=None,
 ) -> list[list[MinibatchSample]]:
     from ..sparse import vstack
 
@@ -338,7 +353,7 @@ def _fastgcn_partitioned(
                 )
         _ladies_extraction_step(
             comm, grid, sampler, a_blocks, dst_by_row, sampled_by_row,
-            layers_rev, sparsity_aware,
+            layers_rev, sparsity_aware, kernel,
         )
         for row in range(n_rows):
             if dst_by_row[row]:
@@ -369,6 +384,7 @@ def _ladies_partitioned(
     fanout: Sequence[int],
     rngs: list[np.random.Generator],
     sparsity_aware: bool,
+    kernel=None,
 ) -> list[list[MinibatchSample]]:
     n = a_blocks.n_cols
     n_rows = grid.n_rows
@@ -419,7 +435,7 @@ def _ladies_partitioned(
         # --- extraction: distributed row extract + split col extract --- #
         _ladies_extraction_step(
             comm, grid, sampler, a_blocks, dst_by_row, sampled_by_row,
-            layers_rev, sparsity_aware,
+            layers_rev, sparsity_aware, kernel,
         )
         for row in range(n_rows):
             if dst_by_row[row]:

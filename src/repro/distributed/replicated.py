@@ -36,6 +36,8 @@ def replicated_bulk_sampling(
     batches: Sequence[np.ndarray],
     fanout: Sequence[int],
     seed: int = 0,
+    *,
+    kernel=None,
 ) -> list[list[MinibatchSample]]:
     """Sample one bulk of minibatches under the Graph Replicated algorithm.
 
@@ -44,9 +46,13 @@ def replicated_bulk_sampling(
     per-rank lists of samples; ``out[r][x]`` is rank ``r``'s ``x``-th batch
     (batch index ``r + x * p`` in the input order).
 
-    Simulated device time is charged per rank from the recorded kernel
-    costs; no communication is charged because none occurs (section 5.1).
+    ``kernel`` selects the sparse-kernel backend for the local SpGEMMs
+    (``None`` = the sampler's own backend).  Simulated device time is
+    charged per rank from the recorded kernel costs; no communication is
+    charged because none occurs (section 5.1).
     """
+    if kernel is None:
+        kernel = getattr(sampler, "kernel", None)
     owners = assign_batches(len(batches), comm.world_size)
     results: list[list[MinibatchSample]] = []
     with comm.phase("sampling"):
@@ -55,7 +61,7 @@ def replicated_bulk_sampling(
             if not mine:
                 results.append([])
                 continue
-            recorder = RecordingSpGEMM()
+            recorder = RecordingSpGEMM(kernel=kernel)
             rng = np.random.default_rng(np.random.SeedSequence([seed, rank]))
             samples = sampler.sample_bulk(
                 adj, mine, fanout, rng, spgemm_fn=recorder

@@ -78,7 +78,8 @@ class TrainingPipeline:
         self.grid = ProcessGrid(config.p, config.c)
         self.store = FeatureStore(graph.features, self.grid)
         self.sampler = make_sampler(
-            config.sampler, graph=graph, for_training=True
+            config.sampler, graph=graph, for_training=True,
+            kernel=config.kernel,
         )
         self.backend = ALGORITHMS.get(config.algorithm)()
         self.backend.setup(self)

@@ -1,7 +1,11 @@
-"""Sparse-matrix substrate: CSR storage, SpGEMM/SpMM kernels, structural ops.
+"""Sparse-matrix substrate: CSR storage, pluggable kernels, structural ops.
 
 Everything the paper's sampling framework needs from cuSPARSE/nsparse,
-implemented from scratch with vectorized numpy kernels.
+implemented from scratch with vectorized numpy kernels.  Kernel
+implementations (SpGEMM/SpMM/SDDMM) are a registry axis — see
+:mod:`repro.sparse.kernels` — so samplers, the distributed drivers and the
+CLI can swap backends (``esc``, ``hash``, ``scipy``, plugins) without code
+changes.
 """
 
 from .csr import CSRMatrix
@@ -16,15 +20,33 @@ from .ops import (
     vstack,
 )
 from .random_matrix import sprand, sprand_per_row
-from .spgemm import required_rows, spgemm, spgemm_flops
-from .spmm import spmm, spmm_flops
+from .spgemm import required_rows, spgemm, spgemm_flops, spgemm_hash
+from .spmm import sddmm, spmm, spmm_flops
+
+# Must come after the raw-kernel imports above: the registry wraps them.
+from .kernels import (
+    KERNELS,
+    KernelBackend,
+    default_kernel,
+    get_kernel,
+    set_default_kernel,
+    use_kernel,
+)
 
 __all__ = [
     "CSRMatrix",
+    "KERNELS",
+    "KernelBackend",
+    "get_kernel",
+    "default_kernel",
+    "set_default_kernel",
+    "use_kernel",
     "spgemm",
+    "spgemm_hash",
     "spgemm_flops",
     "required_rows",
     "spmm",
+    "sddmm",
     "spmm_flops",
     "vstack",
     "hstack",

@@ -273,13 +273,14 @@ class CSRMatrix:
     # Arithmetic
     # ------------------------------------------------------------------ #
     def __matmul__(self, other):
-        from .spgemm import spgemm
-        from .spmm import spmm
+        # Dispatch through the process-wide kernel backend so `q @ adj`
+        # call sites pick up --kernel / use_kernel() selections.
+        from .kernels import default_kernel
 
+        kernel = default_kernel()
         if isinstance(other, CSRMatrix):
-            return spgemm(self, other)
-        other = np.asarray(other)
-        return spmm(self, other)
+            return kernel.spgemm(self, other)
+        return kernel.spmm(self, np.asarray(other))
 
     def add(self, other: "CSRMatrix") -> "CSRMatrix":
         """Element-wise sum with another matrix of the same shape."""
@@ -291,8 +292,14 @@ class CSRMatrix:
         return CSRMatrix.from_coo(rows, cols, vals, self.shape)
 
     def equal(self, other: "CSRMatrix", tol: float = 1e-12) -> bool:
-        """Structural + numeric equality after pruning explicit zeros."""
-        a, b = self.prune_zeros(), other.prune_zeros()
+        """Structural + numeric equality after pruning entries at ``tol``.
+
+        Pruning uses ``tol`` (not 0) so that a cancellation one operand
+        resolves to an exact 0.0 and another to ~1e-17 — kernels are free
+        to differ in summation order — does not read as a structural
+        mismatch.
+        """
+        a, b = self.prune_zeros(tol), other.prune_zeros(tol)
         return (
             a.shape == b.shape
             and np.array_equal(a.indptr, b.indptr)

@@ -1,11 +1,22 @@
 """Sparse general matrix-matrix multiplication (SpGEMM).
 
-The kernel is an expand-sort-compress formulation, the same family as the
-GPU nsparse kernels the paper uses: every nonzero ``A[i, j]`` contributes
-``A[i, j] * B[j, :]`` to row ``i`` of the output; the expanded triplets are
-then sorted and duplicate (row, col) pairs summed.
+Two serial kernels share the row-gather expansion (every nonzero
+``A[i, j]`` contributes ``A[i, j] * B[j, :]`` to row ``i`` of the output)
+but differ in how the expanded triplets are compressed:
 
-Besides the plain kernel this module exposes:
+* :func:`spgemm` — expand-sort-compress, the same family as the GPU
+  nsparse kernels the paper uses: a global lexsort of the expanded
+  triplets followed by a segmented sum over duplicate (row, col) pairs.
+* :func:`spgemm_hash` — a row-wise hash accumulator (the nsparse /
+  cuSPARSE "hash SpGEMM" family): expanded triplets are inserted into an
+  open-addressing table keyed by their flat output position, so only the
+  *distinct* output entries are ever sorted.  On the duplicate-heavy
+  frontier products samplers produce (many batch vertices sharing
+  neighbors) this avoids the ``O(F log F)`` sort over the full expanded
+  intermediate.
+
+Kernel selection is a registry concern — see :mod:`repro.sparse.kernels`;
+this module holds the raw implementations.  Besides the kernels it exposes:
 
 * :func:`spgemm_flops` — the multiply-add count, used by the simulated
   compute-cost model.
@@ -21,7 +32,7 @@ import numpy as np
 
 from .csr import CSRMatrix, _ranges
 
-__all__ = ["spgemm", "spgemm_flops", "required_rows"]
+__all__ = ["spgemm", "spgemm_hash", "spgemm_flops", "required_rows"]
 
 
 def spgemm(a: CSRMatrix, b: CSRMatrix) -> CSRMatrix:
@@ -37,13 +48,91 @@ def spgemm(a: CSRMatrix, b: CSRMatrix) -> CSRMatrix:
     if a.nnz == 0 or b.nnz == 0:
         return CSRMatrix.zeros(out_shape)
 
-    b_row_nnz = b.nnz_per_row()
-    counts = b_row_nnz[a.indices]  # expansion count per A nonzero
+    rows, cols, vals = _expand(a, b)
+    return CSRMatrix.from_coo(rows, cols, vals, out_shape)
+
+
+def _expand(a: CSRMatrix, b: CSRMatrix) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The shared row-gather expansion: COO triplets of every partial
+    product ``A[i, j] * B[j, :]``, with duplicates not yet combined."""
+    counts = b.nnz_per_row()[a.indices]  # expansion count per A nonzero
     take = _ranges(b.indptr[a.indices], counts)
     rows = np.repeat(a.row_ids(), counts)
     cols = b.indices[take]
     vals = np.repeat(a.data, counts) * b.data[take]
-    return CSRMatrix.from_coo(rows, cols, vals, out_shape)
+    return rows, cols, vals
+
+
+#: Fibonacci hashing multiplier (2^64 / golden ratio), the standard mixer
+#: for power-of-two open-addressing tables.
+_HASH_MULT = np.uint64(0x9E3779B97F4A7C15)
+
+
+def _hash_slots(keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Insert ``keys`` (non-negative int64) into an open-addressing table.
+
+    Returns ``(slot, table)`` where ``slot[i]`` is the table position key
+    ``i`` resolved to (equal keys share a slot) and ``table`` holds the key
+    stored in each slot (-1 = empty).  The insert loop is vectorized:
+    every pending key tries to claim its probe slot at once (last writer
+    wins on a contested empty slot), matched keys retire, and the rest
+    linearly probe onward.  The table is sized to at most 50% load, so
+    every round retires at least one key per contested slot and the loop
+    terminates.
+    """
+    n = keys.shape[0]
+    log2_size = max(3, int(2 * n - 1).bit_length())
+    size = 1 << log2_size
+    mask = np.int64(size - 1)
+    slot = (
+        (keys.astype(np.uint64) * _HASH_MULT) >> np.uint64(64 - log2_size)
+    ).astype(np.int64)
+    table = np.full(size, -1, dtype=np.int64)
+    pending = np.arange(n, dtype=np.int64)
+    while pending.size:
+        probe = slot[pending]
+        free = table[probe] == -1
+        table[probe[free]] = keys[pending[free]]
+        matched = table[probe] == keys[pending]
+        pending = pending[~matched]
+        slot[pending] = (slot[pending] + 1) & mask
+    return slot, table
+
+
+def spgemm_hash(a: CSRMatrix, b: CSRMatrix) -> CSRMatrix:
+    """Compute ``a @ b`` with a hash-accumulator compression.
+
+    Semantics match :func:`spgemm` (duplicates summed, explicit zeros kept
+    only when produced by cancellation); only the accumulation strategy —
+    and therefore floating-point summation order — differs.  Output keys
+    are flattened to ``row * n_cols + col``; shapes whose flat index space
+    would overflow int64 fall back to the sort-based kernel.
+    """
+    if a.shape[1] != b.shape[0]:
+        raise ValueError(f"inner dimensions differ: {a.shape} @ {b.shape}")
+    out_shape = (a.shape[0], b.shape[1])
+    if a.nnz == 0 or b.nnz == 0:
+        return CSRMatrix.zeros(out_shape)
+    n_rows, n_cols = out_shape
+    if n_rows * n_cols >= 2**63:  # flat keys would overflow int64
+        return spgemm(a, b)
+    rows, cols, vals = _expand(a, b)
+    if rows.size == 0:
+        return CSRMatrix.zeros(out_shape)
+    keys = rows * np.int64(n_cols) + cols
+    slot, table = _hash_slots(keys)
+    acc = np.bincount(slot, weights=vals, minlength=table.shape[0])
+    used = np.flatnonzero(table != -1)
+    out_keys = table[used]
+    order = np.argsort(out_keys)  # only the distinct outputs are sorted
+    out_keys = out_keys[order]
+    out_rows = out_keys // n_cols
+    indptr = np.zeros(n_rows + 1, dtype=np.int64)
+    np.add.at(indptr, out_rows + 1, 1)
+    np.cumsum(indptr, out=indptr)
+    return CSRMatrix(
+        indptr, out_keys - out_rows * n_cols, acc[used][order], out_shape
+    )
 
 
 def spgemm_flops(a: CSRMatrix, b: CSRMatrix) -> int:
