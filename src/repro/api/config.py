@@ -23,6 +23,7 @@ from pathlib import Path
 from typing import Any
 
 from ..config import DeviceModel, LinkModel, MachineConfig, PERLMUTTER_LIKE
+from ..partition.cache import CACHE_POLICIES
 from ..sparse.kernels import KERNELS
 from .registries import (
     ALGORITHMS,
@@ -81,6 +82,10 @@ class RunConfig:
     epochs: int = 3  # default epoch count for engine.train()
     dataset_kwargs: dict[str, Any] = field(default_factory=dict)
     kernel: str = "esc"  # sparse-kernel backend (repro.sparse.KERNELS key)
+    # -- feature cache + bulk scheduling (repro.partition.cache) --------- #
+    cache_budget: float = 0.0  # per-rank bytes for replicated hot rows; 0 = off
+    cache_policy: str = "degree"  # repro.partition.CACHE_POLICIES key
+    overlap: bool = False  # double-buffer sampling+fetch with training
 
     def __post_init__(self) -> None:
         if isinstance(self.fanout, list):
@@ -106,6 +111,13 @@ class RunConfig:
             raise ValueError(
                 f"unknown kernel {self.kernel!r}; known kernels: "
                 f"{', '.join(KERNELS.names())}"
+            )
+        if self.cache_budget < 0:
+            raise ValueError("cache_budget must be non-negative bytes")
+        if self.cache_policy not in CACHE_POLICIES:
+            raise ValueError(
+                f"unknown cache policy {self.cache_policy!r}; known "
+                f"policies: {', '.join(CACHE_POLICIES)}"
             )
         check_sampler_supports(self.sampler, self.algorithm)
         if self.p <= 0 or self.c <= 0 or self.p % self.c:

@@ -128,6 +128,15 @@ class Engine:
             return None
         return self._pipeline.last_epoch_stats
 
+    @property
+    def cache_stats(self):
+        """Live hit/miss counters of the feature cache
+        (:class:`~repro.partition.CacheStats`), or ``None`` when
+        ``config.cache_budget`` is 0 or no pipeline exists yet."""
+        if self._pipeline is None:
+            return None
+        return getattr(self._pipeline.store, "stats", None)
+
     # ------------------------------------------------------------------ #
     # The four verbs
     # ------------------------------------------------------------------ #

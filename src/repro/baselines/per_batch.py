@@ -30,20 +30,24 @@ def per_batch_sampling(
 ) -> list[list[MinibatchSample]]:
     """Sample every batch with its own sampler call (bulk size 1).
 
-    Same ownership and output layout as
-    :func:`repro.distributed.replicated_bulk_sampling`.
+    Same ownership, output layout and per-batch RNG streams as
+    :func:`repro.distributed.replicated_bulk_sampling`, so the sampled
+    minibatches are bit-identical to the bulk path — the comparison
+    isolates the per-call overhead, not sampling noise.
     """
+    from ..distributed.replicated import batch_rng
+
     owners = assign_round_robin(len(batches), comm.world_size)
     results: list[list[MinibatchSample]] = []
     with comm.phase("sampling"):
         for rank in range(comm.world_size):
-            rng = np.random.default_rng(np.random.SeedSequence([seed, rank]))
             mine: list[MinibatchSample] = []
             for i in owners[rank]:
                 recorder = RecordingSpGEMM()
                 mine.extend(
                     sampler.sample_bulk(
-                        adj, [batches[i]], fanout, rng, spgemm_fn=recorder
+                        adj, [batches[i]], fanout, [batch_rng(seed, int(i))],
+                        spgemm_fn=recorder,
                     )
                 )
                 charge_sampling(comm, rank, recorder, tuple(fanout))

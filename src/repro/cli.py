@@ -34,6 +34,7 @@ __all__ = ["main", "build_parser"]
 _TRAIN_OVERRIDES = (
     "scale", "epochs", "p", "c", "algorithm", "sampler", "kernel",
     "batch_size", "seed", "hidden", "lr", "k", "train_split",
+    "cache_budget", "cache_policy", "overlap",
 )
 
 
@@ -55,6 +56,7 @@ def _user_error(exc: object) -> int:
 
 def build_parser() -> argparse.ArgumentParser:
     from repro.api import ALGORITHMS, DATASETS, KERNELS, SAMPLERS
+    from repro.partition import CACHE_POLICIES as cache_policies
 
     datasets = DATASETS.names()
     samplers = SAMPLERS.names()
@@ -123,6 +125,18 @@ def build_parser() -> argparse.ArgumentParser:
     trn.add_argument("--hidden", type=int, default=None, help="default 32")
     trn.add_argument("--lr", type=float, default=None, help="default 0.01")
     trn.add_argument("--seed", type=int, default=None, help="default 0")
+    trn.add_argument("--cache-budget", type=float, default=None,
+                     dest="cache_budget", metavar="BYTES",
+                     help="per-rank feature-cache budget in bytes; replicated "
+                     "hot rows are served locally instead of all-to-allv'd "
+                     "(default 0 = off)")
+    trn.add_argument("--cache-policy", default=None, dest="cache_policy",
+                     choices=list(cache_policies),
+                     help="feature-cache replication policy, default degree")
+    trn.add_argument("--overlap", action=argparse.BooleanOptionalAction,
+                     default=None,
+                     help="double-buffer bulks: overlap sampling+fetch of "
+                     "bulk k+1 with training on bulk k (simulated clock)")
 
     swp = sub.add_parser("sweep", help="figure-4-style GPU-count sweep")
     swp.add_argument("dataset", choices=datasets)
@@ -249,10 +263,15 @@ def _cmd_train(args) -> int:
         loss_txt = (
             f"loss {stats.loss:.4f}" if stats.loss is not None else "loss n/a"
         )
-        print(f"epoch {epoch}: {loss_txt}  "
-              f"sim-time {stats.total:.5f}s "
-              f"(sampling {stats.sampling:.5f} / fetch {stats.feature_fetch:.5f}"
-              f" / prop {stats.propagation:.5f})")
+        line = (f"epoch {epoch}: {loss_txt}  "
+                f"sim-time {stats.epoch_seconds:.5f}s "
+                f"(sampling {stats.sampling:.5f} / fetch {stats.feature_fetch:.5f}"
+                f" / prop {stats.propagation:.5f})")
+        if stats.pipelined_total is not None:
+            line += f" overlap saved {stats.overlap_saved:.5f}s"
+        if stats.fetch_hit_rate is not None:
+            line += f" cache hit-rate {stats.fetch_hit_rate:.2%}"
+        print(line)
     print(f"test accuracy: {engine.evaluate('test'):.3f}")
     return 0
 

@@ -23,7 +23,7 @@ import numpy as np
 from ..sparse import CSRMatrix, row_normalize, vstack
 from .frontier import LayerSample, MinibatchSample
 from .ladies_sampler import LadiesSampler
-from .sampler_base import SpGEMMFn
+from .sampler_base import RngSpec, SpGEMMFn
 
 __all__ = ["FastGCNSampler"]
 
@@ -54,13 +54,14 @@ class FastGCNSampler(LadiesSampler):
         adj: CSRMatrix,
         batches: Sequence[np.ndarray],
         fanout: Sequence[int],
-        rng: np.random.Generator,
+        rng: RngSpec,
         *,
         spgemm_fn: SpGEMMFn | None = None,
     ) -> list[MinibatchSample]:
         spgemm_fn = self._resolve_spgemm(spgemm_fn)
         self._validate(adj, batches, fanout)
         k = len(batches)
+        rng = self._normalize_rng(rng, k)
         dst_lists = [np.asarray(b, dtype=np.int64) for b in batches]
         layers_rev: list[list[LayerSample]] = [[] for _ in range(k)]
         importance = self.importance_row(adj)
@@ -69,7 +70,7 @@ class FastGCNSampler(LadiesSampler):
             # One independent draw from the same global distribution per
             # batch: stack k copies of the importance row and SAMPLE.
             p = vstack([importance] * k)
-            q_next = self.sample(p, s, rng)
+            q_next = self.sample_stacked(p, s, rng, np.arange(k + 1))
             sampled_lists = [q_next.row(i)[0] for i in range(k)]
             if self.include_dst:
                 sampled_lists = [

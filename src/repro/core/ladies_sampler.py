@@ -35,7 +35,7 @@ from ..sparse import (
     spgemm,
 )
 from .frontier import LayerSample, MinibatchSample
-from .sampler_base import MatrixSampler, SpGEMMFn
+from .sampler_base import MatrixSampler, RngSpec, SpGEMMFn
 
 __all__ = ["LadiesSampler"]
 
@@ -178,20 +178,22 @@ class LadiesSampler(MatrixSampler):
         adj: CSRMatrix,
         batches: Sequence[np.ndarray],
         fanout: Sequence[int],
-        rng: np.random.Generator,
+        rng: RngSpec,
         *,
         spgemm_fn: SpGEMMFn | None = None,
     ) -> list[MinibatchSample]:
         spgemm_fn = self._resolve_spgemm(spgemm_fn)
         n = self._validate(adj, batches, fanout)
         k = len(batches)
+        rng = self._normalize_rng(rng, k)
         dst_lists = [np.asarray(b, dtype=np.int64) for b in batches]
         layers_rev: list[list[LayerSample]] = [[] for _ in range(k)]
 
         for s in fanout:
             q = self.make_q(dst_lists, n)
             p = self.norm(spgemm_fn(q, adj))
-            q_next = self.sample(p, s, rng)
+            # One indicator row per batch: batch i's draws come from row i.
+            q_next = self.sample_stacked(p, s, rng, np.arange(k + 1))
             sampled_lists = [q_next.row(i)[0] for i in range(k)]
             if self.include_dst:
                 sampled_lists = [

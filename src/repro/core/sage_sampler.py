@@ -24,7 +24,7 @@ from ..sparse import (
     row_selector,
 )
 from .frontier import LayerSample, MinibatchSample
-from .sampler_base import MatrixSampler, SpGEMMFn
+from .sampler_base import MatrixSampler, RngSpec, SpGEMMFn
 
 __all__ = ["SageSampler"]
 
@@ -96,13 +96,14 @@ class SageSampler(MatrixSampler):
         adj: CSRMatrix,
         batches: Sequence[np.ndarray],
         fanout: Sequence[int],
-        rng: np.random.Generator,
+        rng: RngSpec,
         *,
         spgemm_fn: SpGEMMFn | None = None,
     ) -> list[MinibatchSample]:
         spgemm_fn = self._resolve_spgemm(spgemm_fn)
         n = self._validate(adj, batches, fanout)
         k = len(batches)
+        rng = self._normalize_rng(rng, k)
         dst_lists: list[np.ndarray] = [np.asarray(b, dtype=np.int64) for b in batches]
         # layers_rev[i] collects batch i's layers from the batch outward.
         layers_rev: list[list[LayerSample]] = [[] for _ in range(k)]
@@ -112,7 +113,7 @@ class SageSampler(MatrixSampler):
             bounds = np.cumsum([0] + [len(d) for d in dst_lists])
             q = self.make_q(frontier, n)
             p = self.norm(spgemm_fn(q, adj))
-            q_next = self.sample(p, s, rng)
+            q_next = self.sample_stacked(p, s, rng, bounds)
             new_dsts: list[np.ndarray] = []
             for i in range(k):
                 rows = q_next.row_block(int(bounds[i]), int(bounds[i + 1]))

@@ -29,7 +29,7 @@ import numpy as np
 from ..sparse import CSRMatrix, row_selector
 from .frontier import LayerSample, MinibatchSample
 from .sage_sampler import SageSampler
-from .sampler_base import SpGEMMFn
+from .sampler_base import RngSpec, SpGEMMFn
 
 __all__ = ["GraphSaintRWSampler"]
 
@@ -97,12 +97,13 @@ class GraphSaintRWSampler(SageSampler):
         adj: CSRMatrix,
         batches: Sequence[np.ndarray],
         fanout: Sequence[int],
-        rng: np.random.Generator,
+        rng: RngSpec,
         *,
         spgemm_fn: SpGEMMFn | None = None,
     ) -> list[MinibatchSample]:
         spgemm_fn = self._resolve_spgemm(spgemm_fn)
         self._validate(adj, batches, fanout)
+        rng = self._normalize_rng(rng, len(batches))
         n_layers = len(fanout)
         # Bulk: all batches' walks run in one stacked frontier per step.
         stacked = np.concatenate([np.asarray(b, dtype=np.int64) for b in batches])
@@ -134,7 +135,7 @@ class GraphSaintRWSampler(SageSampler):
         for _ in range(self.walk_length):
             q = self.make_q(frontier, n)
             p = self.norm(spgemm_fn(q, adj))
-            step = self.sample(p, 1, rng)
+            step = self.sample_stacked(p, 1, rng, bounds)
             nxt = frontier.copy()
             rows_with_pick = np.flatnonzero(step.nnz_per_row() > 0)
             nxt[rows_with_pick] = step.indices

@@ -22,20 +22,28 @@ pieces on their local block rows and substitute distributed SpGEMMs for the
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Callable, Sequence
+from typing import Callable, Sequence, Union
 
 import numpy as np
 
-from ..sparse import CSRMatrix
+from ..sparse import CSRMatrix, vstack
 from ..sparse.kernels import KernelSpec, get_kernel
 from .frontier import MinibatchSample
 from .its import gumbel_topk_rows, its_sample_rows
 
-__all__ = ["MatrixSampler", "SpGEMMFn"]
+__all__ = ["MatrixSampler", "SpGEMMFn", "RngSpec"]
 
 #: Signature of the SpGEMM used for the probability product; distributed
 #: algorithms substitute their own.
 SpGEMMFn = Callable[[CSRMatrix, CSRMatrix], CSRMatrix]
+
+#: Randomness accepted by ``sample_bulk``: one generator consumed across the
+#: whole stacked bulk (the historical behaviour), or one independent
+#: generator per batch.  Per-batch streams make a batch's draws depend only
+#: on its own stream and its own frontier — the property the replicated
+#: driver uses to seed by *global* batch index so sampling output is
+#: invariant to the world size.
+RngSpec = Union[np.random.Generator, Sequence[np.random.Generator]]
 
 
 class MatrixSampler(ABC):
@@ -84,6 +92,56 @@ class MatrixSampler(ABC):
             return gumbel_topk_rows(p, s, rng)
         return its_sample_rows(p, s, rng)
 
+    @staticmethod
+    def _normalize_rng(rng: RngSpec, k: int):
+        """Normalize a ``sample_bulk`` rng argument, materializing and
+        validating a per-batch sequence (which may be a one-shot iterator)
+        exactly once.
+
+        Returns a single generator unchanged (legacy stacked consumption)
+        or a list of one generator per batch.
+        """
+        if isinstance(rng, np.random.Generator):
+            return rng
+        rngs = list(rng)
+        if len(rngs) != k:
+            raise ValueError(
+                f"need one rng per batch: got {len(rngs)} for {k} batches"
+            )
+        if not all(isinstance(g, np.random.Generator) for g in rngs):
+            raise TypeError("per-batch rngs must be numpy Generators")
+        return rngs
+
+    def sample_stacked(
+        self,
+        p: CSRMatrix,
+        s: int,
+        rng: RngSpec,
+        bounds: Sequence[int] | np.ndarray,
+    ) -> CSRMatrix:
+        """SAMPLE on a stacked ``P`` whose row blocks belong to batches.
+
+        With a single generator this is exactly :meth:`sample` (one stream
+        consumed across the whole stack).  With per-batch generators
+        (a list from :meth:`_normalize_rng`) each block
+        ``bounds[i]:bounds[i+1]`` is sampled from its own stream, so a
+        batch's draws do not depend on what else happens to be stacked with
+        it.  Rows are independent under ITS/Gumbel, so the distribution is
+        identical either way.
+        """
+        if isinstance(rng, np.random.Generator):
+            return self.sample(p, s, rng)
+        if len(rng) != len(bounds) - 1:
+            raise ValueError(
+                f"need one rng per row block: got {len(rng)} for "
+                f"{len(bounds) - 1} blocks"
+            )
+        parts = [
+            self.sample(p.row_block(int(bounds[i]), int(bounds[i + 1])), s, g)
+            for i, g in enumerate(rng)
+        ]
+        return vstack(parts)
+
     # ------------------------------------------------------------------ #
     # Whole-algorithm entry point (single device)
     # ------------------------------------------------------------------ #
@@ -93,7 +151,7 @@ class MatrixSampler(ABC):
         adj: CSRMatrix,
         batches: Sequence[np.ndarray],
         fanout: Sequence[int],
-        rng: np.random.Generator,
+        rng: RngSpec,
         *,
         spgemm_fn: SpGEMMFn | None = None,
     ) -> list[MinibatchSample]:
@@ -102,8 +160,11 @@ class MatrixSampler(ABC):
         ``fanout[0]`` is the sample count for the layer adjacent to the
         batch (the paper's layer ``L``) and ``fanout[-1]`` the furthest.
         Returns one :class:`MinibatchSample` per input batch, in order.
-        ``spgemm_fn=None`` uses the sampler's kernel backend; distributed
-        drivers and cost recorders pass their own wrapper.
+        ``rng`` is a single generator (draws consumed across the stacked
+        bulk) or a sequence of one generator per batch (each batch draws
+        only from its own stream — see :data:`RngSpec`).  ``spgemm_fn=None``
+        uses the sampler's kernel backend; distributed drivers and cost
+        recorders pass their own wrapper.
         """
 
     # ------------------------------------------------------------------ #

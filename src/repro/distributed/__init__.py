@@ -2,9 +2,14 @@
 Graph Partitioned with the 1.5D sparsity-aware SpGEMM (section 5.2)."""
 
 from .analysis import ProbCostInputs, predict_prob_costs
-from .instrument import KERNELS_PER_LAYER, RecordingSpGEMM, charge_sampling
+from .instrument import (
+    KERNELS_PER_LAYER,
+    CacheStats,
+    RecordingSpGEMM,
+    charge_sampling,
+)
 from .partitioned import partitioned_bulk_sampling
-from .replicated import assign_batches, replicated_bulk_sampling
+from .replicated import assign_batches, batch_rng, replicated_bulk_sampling
 from .spgemm_15d import spgemm_15d, stage_blocks
 
 __all__ = [
@@ -13,8 +18,10 @@ __all__ = [
     "replicated_bulk_sampling",
     "partitioned_bulk_sampling",
     "assign_batches",
+    "batch_rng",
     "RecordingSpGEMM",
     "charge_sampling",
+    "CacheStats",
     "KERNELS_PER_LAYER",
     "ProbCostInputs",
     "predict_prob_costs",

@@ -20,12 +20,14 @@ import numpy as np
 
 from ..comm import Communicator
 from ..core.its import its_flops
+from ..partition.cache import CacheStats
 from ..sparse import CSRMatrix, spgemm_flops
 from ..sparse.kernels import KernelSpec, get_kernel
 
 __all__ = [
     "RecordingSpGEMM",
     "charge_sampling",
+    "CacheStats",
     "KERNELS_PER_LAYER",
     "CALL_OVERHEAD_S",
 ]

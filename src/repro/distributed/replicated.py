@@ -19,7 +19,7 @@ from ..core import MatrixSampler, MinibatchSample, assign_round_robin
 from ..sparse import CSRMatrix
 from .instrument import RecordingSpGEMM, charge_sampling
 
-__all__ = ["replicated_bulk_sampling", "assign_batches"]
+__all__ = ["replicated_bulk_sampling", "assign_batches", "batch_rng"]
 
 
 def assign_batches(
@@ -27,6 +27,17 @@ def assign_batches(
 ) -> list[list[int]]:
     """Round-robin ownership of batch indices over ranks."""
     return assign_round_robin(n_batches, world_size)
+
+
+def batch_rng(seed: int, batch_index: int) -> np.random.Generator:
+    """The RNG stream of one minibatch, keyed by its *global* batch index.
+
+    Seeding by global batch index (not by rank) makes distributed sampling
+    output world-size invariant: batch ``i`` draws the same samples whether
+    8 ranks own 4 batches each or 1 rank owns all 32, because its draws
+    come from its own stream and its frontier evolution is batch-local.
+    """
+    return np.random.default_rng(np.random.SeedSequence([seed, batch_index]))
 
 
 def replicated_bulk_sampling(
@@ -50,6 +61,11 @@ def replicated_bulk_sampling(
     (``None`` = the sampler's own backend).  Simulated device time is
     charged per rank from the recorded kernel costs; no communication is
     charged because none occurs (section 5.1).
+
+    Each batch's randomness is an independent stream keyed by its global
+    batch index (:func:`batch_rng`), so the sampled output is invariant to
+    the world size — the same batches yield bit-identical samples at any
+    ``p``.
     """
     if kernel is None:
         kernel = getattr(sampler, "kernel", None)
@@ -62,9 +78,9 @@ def replicated_bulk_sampling(
                 results.append([])
                 continue
             recorder = RecordingSpGEMM(kernel=kernel)
-            rng = np.random.default_rng(np.random.SeedSequence([seed, rank]))
+            rngs = [batch_rng(seed, int(i)) for i in owners[rank]]
             samples = sampler.sample_bulk(
-                adj, mine, fanout, rng, spgemm_fn=recorder
+                adj, mine, fanout, rngs, spgemm_fn=recorder
             )
             charge_sampling(comm, rank, recorder, tuple(fanout))
             results.append(samples)

@@ -1,6 +1,15 @@
-"""Matrix and feature distribution: 1D / 1.5D block-row partitioning."""
+"""Matrix and feature distribution: 1D / 1.5D block-row partitioning and
+the replication-budgeted feature cache."""
 
 from .block1d import BlockRows, split_rows
+from .cache import CACHE_POLICIES, CachedFeatureStore, CacheStats
 from .feature_store import FeatureStore
 
-__all__ = ["BlockRows", "split_rows", "FeatureStore"]
+__all__ = [
+    "BlockRows",
+    "split_rows",
+    "FeatureStore",
+    "CachedFeatureStore",
+    "CacheStats",
+    "CACHE_POLICIES",
+]

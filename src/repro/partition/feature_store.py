@@ -101,12 +101,16 @@ class FeatureStore:
             got_resp = comm.alltoallv(resp, ranks)
             for pos, r in enumerate(ranks):
                 ids = np.asarray(needed_by_rank[r], dtype=np.int64)
-                out = np.empty((len(ids), self.n_features), dtype=np.float64)
+                # The returned block follows the stored dtype: an fp32 store
+                # must not come back silently upcast to float64.
+                out = np.empty(
+                    (len(ids), self.n_features), dtype=self.features.dtype
+                )
                 chunks = [got_resp[pos][o].array for o in range(g)]
                 stacked = (
                     np.concatenate(chunks, axis=0)
                     if chunks
-                    else np.empty((0, self.n_features))
+                    else np.empty((0, self.n_features), dtype=self.features.dtype)
                 )
                 # Undo the owner sort so rows align with the request order.
                 out[orders[pos]] = stacked

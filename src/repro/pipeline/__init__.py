@@ -2,6 +2,7 @@
 
 from .inference import layerwise_inference
 from .memory import MemoryModel, choose_c_k, quiver_fits
+from .schedule import overlap_saving, overlapped_makespan
 from .stats import BulkStats, EpochStats
 from .trainer import PipelineConfig, TrainingPipeline
 
@@ -14,4 +15,6 @@ __all__ = [
     "layerwise_inference",
     "choose_c_k",
     "quiver_fits",
+    "overlapped_makespan",
+    "overlap_saving",
 ]

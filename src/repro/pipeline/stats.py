@@ -13,13 +13,17 @@ class BulkStats:
 
     ``loss`` is the mean minibatch loss of the bulk (``None`` in perf-only
     mode); ``rounds`` is how many training rounds the bulk's per-rank
-    minibatch lists required.
+    minibatch lists required.  ``prep_s`` / ``train_s`` are the bulk's
+    simulated sampling+fetch and propagation stage times — the inputs the
+    double-buffered scheduler overlaps.
     """
 
     index: int
     n_batches: int
     rounds: int
     loss: float | None = None
+    prep_s: float = 0.0
+    train_s: float = 0.0
 
 
 @dataclass
@@ -30,6 +34,12 @@ class EpochStats:
     the paper stacks in Figures 4 and 6; for the partitioned algorithm the
     sampling sub-phases (``probability``, ``sampling``, ``extraction``) and
     the comm/comp split of Figure 7 are also populated.
+
+    With ``RunConfig.overlap`` the double-buffered schedule's makespan is
+    recorded in ``pipelined_total``; :attr:`epoch_seconds` is the number to
+    report either way (overlapped when available, serial ``total``
+    otherwise).  When a feature cache is active the fetch counters carry
+    its per-epoch hit/miss accounting.
     """
 
     sampling: float = 0.0
@@ -41,10 +51,33 @@ class EpochStats:
     bytes_sent: float = 0.0
     loss: float | None = None
     n_batches: int = 0
+    # -- double-buffered scheduling (RunConfig.overlap) ------------------ #
+    overlap: bool = False
+    pipelined_total: float | None = None
+    # -- feature-cache accounting (RunConfig.cache_budget > 0) ----------- #
+    fetch_hits: int = 0
+    fetch_misses: int = 0
+    fetch_hit_rate: float | None = None
+    fetch_bytes_saved: float = 0.0
 
     @property
     def total(self) -> float:
+        """Serial (sum-charged) epoch seconds."""
         return self.sampling + self.feature_fetch + self.propagation
+
+    @property
+    def epoch_seconds(self) -> float:
+        """Simulated epoch time under the configured schedule."""
+        if self.overlap and self.pipelined_total is not None:
+            return self.pipelined_total
+        return self.total
+
+    @property
+    def overlap_saved(self) -> float:
+        """Seconds the double-buffered schedule saved (0.0 when serial)."""
+        if self.pipelined_total is None:
+            return 0.0
+        return self.total - self.pipelined_total
 
     def row(self) -> dict[str, object]:
         """Flat dict for tabular reporting."""
@@ -55,6 +88,10 @@ class EpochStats:
             "total_s": round(self.total, 6),
             "batches": self.n_batches,
         }
+        if self.pipelined_total is not None:
+            out["pipelined_s"] = round(self.pipelined_total, 6)
+        if self.fetch_hit_rate is not None:
+            out["fetch_hit_rate"] = round(self.fetch_hit_rate, 4)
         if self.loss is not None:
             out["loss"] = round(self.loss, 4)
         return out

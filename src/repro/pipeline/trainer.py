@@ -39,7 +39,8 @@ from ..gnn import (
     softmax_cross_entropy,
 )
 from ..graphs import Graph
-from ..partition import FeatureStore
+from ..partition import CachedFeatureStore, FeatureStore
+from .schedule import overlapped_makespan
 from .stats import BulkStats, EpochStats
 
 __all__ = ["PipelineConfig", "TrainingPipeline"]
@@ -76,7 +77,22 @@ class TrainingPipeline:
             config.p, config.machine, work_scale=config.work_scale
         )
         self.grid = ProcessGrid(config.p, config.c)
-        self.store = FeatureStore(graph.features, self.grid)
+        self.store: FeatureStore | CachedFeatureStore = FeatureStore(
+            graph.features, self.grid
+        )
+        if config.cache_budget > 0:
+            # Hot vertices are the frequent aggregation *sources*, i.e. the
+            # vertices frontiers keep landing on: rank by in-degree (how
+            # many adjacency rows reference each column).
+            in_degree = np.bincount(
+                graph.adj.indices, minlength=graph.n
+            ).astype(np.float64)
+            self.store = CachedFeatureStore(
+                self.store,
+                budget_bytes=config.cache_budget,
+                policy=config.cache_policy,
+                scores=in_degree,
+            )
         self.sampler = make_sampler(
             config.sampler, graph=graph, for_training=True,
             kernel=config.kernel,
@@ -135,12 +151,17 @@ class TrainingPipeline:
         cfg = self.config
         self.comm.clock.reset()
         self.comm.ledger.reset()
+        if isinstance(self.store, CachedFeatureStore):
+            self.store.stats.reset()  # per-epoch counters (LFU counts persist)
         rng = np.random.default_rng(
             np.random.SeedSequence([cfg.seed, 17, epoch])
         )
         batches = self.graph.make_batches(cfg.batch_size, rng)
         k = cfg.k or len(batches)
         losses: list[float] = []
+        preps: list[float] = []
+        trains: list[float] = []
+        prev_prep, prev_train = self._stage_seconds()
         for bulk_idx, bulk in enumerate(chunk_bulks(batches, k)):
             per_rank = self._sample_bulk(bulk, seed=cfg.seed + 31 * bulk_idx + epoch)
             bulk_losses: list[float] = []
@@ -154,13 +175,39 @@ class TrainingPipeline:
                 if loss is not None:
                     bulk_losses.append(loss)
             losses.extend(bulk_losses)
+            if isinstance(self.store, CachedFeatureStore):
+                # LFU re-ranks at bulk boundaries; rows newly entering the
+                # replica are charged as replication-fill traffic, kept in
+                # its own phase so the on-demand fetch volume stays
+                # separately measurable (the Figure-6 quantity).  Runs
+                # before the stage snapshot so the fill lands in this
+                # bulk's prep window and the overlap makespan sees every
+                # charged second.
+                with self.comm.phase("cache_fill"):
+                    self.store.refresh(self.comm)
+            cur_prep, cur_train = self._stage_seconds()
+            preps.append(cur_prep - prev_prep)
+            trains.append(cur_train - prev_train)
+            prev_prep, prev_train = cur_prep, cur_train
             yield BulkStats(
                 index=bulk_idx,
                 n_batches=len(bulk),
                 rounds=rounds,
                 loss=float(np.mean(bulk_losses)) if bulk_losses else None,
+                prep_s=preps[-1],
+                train_s=trains[-1],
             )
-        self.last_epoch_stats = self._epoch_stats(len(batches), losses)
+        self.last_epoch_stats = self._epoch_stats(
+            len(batches), losses, preps, trains
+        )
+
+    def _stage_seconds(self) -> tuple[float, float]:
+        """Cumulative (sampling+fetch+fill, propagation) seconds so far —
+        the two stages the double-buffered scheduler may overlap."""
+        sub = self.comm.clock.breakdown()
+        prep = sum(sub.get(ph, 0.0) for ph in _SAMPLING_PHASES)
+        prep += sub.get("feature_fetch", 0.0) + sub.get("cache_fill", 0.0)
+        return prep, sub.get("propagation", 0.0)
 
     def train_epoch(self, epoch: int = 0) -> EpochStats:
         """One epoch: sample all batches in bulks of k, fetch, propagate."""
@@ -226,14 +273,28 @@ class TrainingPipeline:
                 )
         return loss_sum / len(active) if cfg.train_model else None
 
-    def _epoch_stats(self, n_batches: int, losses: list[float]) -> EpochStats:
+    def _epoch_stats(
+        self,
+        n_batches: int,
+        losses: list[float],
+        preps: list[float],
+        trains: list[float],
+    ) -> EpochStats:
         clock = self.comm.clock
         sub = clock.breakdown()
         by_kind = clock.breakdown_by_kind()
         sampling = sum(sub.get(ph, 0.0) for ph in _SAMPLING_PHASES)
+        cache = (
+            self.store.stats
+            if isinstance(self.store, CachedFeatureStore)
+            else None
+        )
         return EpochStats(
             sampling=sampling,
-            feature_fetch=sub.get("feature_fetch", 0.0),
+            # Replication fill (LFU refresh traffic) is feature time too;
+            # its volume stays separately attributed under "cache_fill".
+            feature_fetch=sub.get("feature_fetch", 0.0)
+            + sub.get("cache_fill", 0.0),
             propagation=sub.get("propagation", 0.0),
             sub_phases={
                 ph: sub.get(ph, 0.0)
@@ -249,6 +310,16 @@ class TrainingPipeline:
             bytes_sent=self.comm.ledger.sent(),
             loss=float(np.mean(losses)) if losses else None,
             n_batches=n_batches,
+            overlap=self.config.overlap,
+            pipelined_total=(
+                overlapped_makespan(preps, trains)
+                if self.config.overlap
+                else None
+            ),
+            fetch_hits=cache.hits if cache else 0,
+            fetch_misses=cache.misses if cache else 0,
+            fetch_hit_rate=cache.hit_rate if cache else None,
+            fetch_bytes_saved=cache.hit_bytes if cache else 0.0,
         )
 
     # ------------------------------------------------------------------ #

@@ -55,6 +55,39 @@ class TestParser:
         )
         assert _resolve_train_config(args).fanout == (64,)
 
+    def test_cache_and_overlap_flags(self):
+        args = build_parser().parse_args(
+            ["train", "products", "--cache-budget", "65536",
+             "--cache-policy", "lfu", "--overlap"]
+        )
+        cfg = _resolve_train_config(args)
+        assert cfg.cache_budget == 65536.0
+        assert cfg.cache_policy == "lfu"
+        assert cfg.overlap is True
+
+    def test_cache_flags_default_off(self):
+        cfg = _resolve_train_config(
+            build_parser().parse_args(["train", "products"])
+        )
+        assert cfg.cache_budget == 0.0
+        assert cfg.overlap is False
+
+    def test_no_overlap_flag_overrides_config(self, tmp_path):
+        from repro.api import RunConfig
+
+        path = tmp_path / "run.json"
+        RunConfig(dataset="products", overlap=True).to_json(path)
+        args = build_parser().parse_args(
+            ["train", "--config", str(path), "--no-overlap"]
+        )
+        assert _resolve_train_config(args).overlap is False
+
+    def test_rejects_unknown_cache_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["train", "products", "--cache-policy", "magic"]
+            )
+
     def test_config_file_with_flag_overrides(self, tmp_path):
         from repro.api import RunConfig
 
@@ -124,6 +157,20 @@ class TestCommands:
         )
         assert code == 0
         assert "sim-time" in capsys.readouterr().out
+
+    def test_train_with_cache_and_overlap(self, capsys):
+        code = main(
+            [
+                "train", "products", "--scale", "0.1", "--epochs", "1",
+                "--p", "4", "--c", "2", "--algorithm", "partitioned",
+                "--batch-size", "16", "--k", "2",
+                "--cache-budget", "65536", "--overlap",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cache hit-rate" in out
+        assert "overlap saved" in out
 
     def test_train_saint_first_class(self, capsys):
         code = main(

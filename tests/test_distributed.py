@@ -135,6 +135,83 @@ class TestReplicated:
         assert times[8] < times[4] < times[2] < times[1]
         assert times[1] / times[8] > 4  # at least halfway to linear
 
+    @pytest.mark.parametrize(
+        "make_sampler,fanout",
+        [
+            (lambda: SageSampler(), (4, 2)),
+            (lambda: LadiesSampler(), (16,)),
+            (lambda: FastGCNSampler(), (16,)),
+        ],
+    )
+    def test_world_size_invariant(self, make_sampler, fanout, small_adj, batches):
+        """Seeding by global batch index: the same batch draws the same
+        sample at any world size (bug fixed in this revision — seeding by
+        rank made p=2 and p=4 runs sample differently)."""
+
+        def by_global_index(out):
+            p = len(out)
+            flat = {}
+            for r, lst in enumerate(out):
+                for x, mb in enumerate(lst):
+                    flat[r + x * p] = mb
+            return [flat[i] for i in sorted(flat)]
+
+        runs = []
+        for p in (1, 2, 4):
+            out = replicated_bulk_sampling(
+                Communicator(p), make_sampler(), small_adj, batches,
+                fanout, seed=5,
+            )
+            runs.append(by_global_index(out))
+        for a, b in zip(runs[0], runs[1]):
+            for la, lb in zip(a.layers, b.layers):
+                assert np.array_equal(la.src_ids, lb.src_ids)
+                assert la.adj.equal(lb.adj)
+        for a, b in zip(runs[0], runs[2]):
+            for la, lb in zip(a.layers, b.layers):
+                assert np.array_equal(la.src_ids, lb.src_ids)
+                assert la.adj.equal(lb.adj)
+
+    def test_bulk_matches_per_batch_samples(self, small_adj, batches):
+        """Bulk and per-batch drivers share per-batch RNG streams, so the
+        amortization ablation compares identical samples."""
+        bulk = replicated_bulk_sampling(
+            Communicator(4), SageSampler(), small_adj, batches, (4, 2), seed=2
+        )
+        solo = per_batch_sampling(
+            Communicator(4), SageSampler(), small_adj, batches, (4, 2), seed=2
+        )
+        for ra, rb in zip(bulk, solo):
+            for x, y in zip(ra, rb):
+                assert np.array_equal(x.batch, y.batch)
+                for la, lb in zip(x.layers, y.layers):
+                    assert np.array_equal(la.src_ids, lb.src_ids)
+                    assert la.adj.equal(lb.adj)
+
+    def test_rng_list_length_validated(self, small_adj, batches):
+        with pytest.raises(ValueError):
+            SageSampler().sample_bulk(
+                small_adj, batches, (4,),
+                [np.random.default_rng(0)],  # one rng for many batches
+            )
+
+    def test_rng_one_shot_iterator_accepted(self, small_adj, batches):
+        """A generator expression of per-batch rngs must work: it is
+        materialized exactly once, not drained by validation."""
+        from repro.distributed import batch_rng
+
+        k = len(batches)
+        a = SageSampler().sample_bulk(
+            small_adj, batches, (4, 2), [batch_rng(1, i) for i in range(k)]
+        )
+        b = SageSampler().sample_bulk(
+            small_adj, batches, (4, 2), (batch_rng(1, i) for i in range(k))
+        )
+        for x, y in zip(a, b):
+            for la, lb in zip(x.layers, y.layers):
+                assert np.array_equal(la.src_ids, lb.src_ids)
+                assert la.adj.equal(lb.adj)
+
     def test_deterministic_given_seed(self, small_adj, batches):
         a = replicated_bulk_sampling(
             Communicator(4), SageSampler(), small_adj, batches, (4,), seed=3

@@ -90,6 +90,38 @@ class TestFeatureStore:
         assert np.allclose(got[0], feats[[5, 5, 3]])
         assert got[1].shape == (0, 8)
         assert np.allclose(got[2], feats[[63]])
+        assert np.allclose(got[3], feats[:10])
+
+    def test_fetch_all_remote_rows(self, rng):
+        """A rank whose whole request is owned by *other* process rows."""
+        comm, grid, feats, store = self._setup(4, 2)  # 2 block rows of 32
+        needed = [
+            np.arange(40, 50),        # rank 0 (process row 0): all remote
+            np.arange(0, 8),          # rank 1 (process row 0): all local
+            np.arange(10, 14),        # rank 2 (process row 1): all remote
+            np.arange(50, 54),        # rank 3 (process row 1): all local
+        ]
+        got = store.fetch(comm, needed)
+        for r in range(4):
+            assert np.allclose(got[r], feats[needed[r]])
+
+    def test_fetch_preserves_store_dtype(self, rng):
+        """Regression: the output block must follow the stored dtype, not
+        silently upcast fp32 features to float64."""
+        comm = Communicator(4)
+        grid = ProcessGrid(4, 2)
+        feats = rng.standard_normal((64, 8)).astype(np.float32)
+        store = FeatureStore(feats, grid)
+        needed = [
+            rng.choice(64, 6, replace=False),
+            np.empty(0, dtype=np.int64),  # hits the empty-chunk fallback
+            np.arange(40, 50),
+            np.arange(4),
+        ]
+        got = store.fetch(comm, needed)
+        for r in range(4):
+            assert got[r].dtype == np.float32
+            assert np.array_equal(got[r], feats[needed[r]])
 
     def test_fetch_volume_decreases_with_c(self, rng):
         """The paper's Figure 6 mechanism: feature-fetch time scales with c."""
