@@ -1,0 +1,123 @@
+"""Figure-7-style sweep for *partitioned GraphSAINT* — new in this repo.
+
+The paper's Figure 7 breaks Graph Partitioned sampling into probability /
+sampling / extraction for SAGE and LADIES.  GraphSAINT could not appear
+there: graph-wise sampling had no per-layer partitioned formulation.  With
+the sampling-plan IR it runs under the same 1.5D executor — the walk's
+``P = Q A`` products and the subgraph induction's row extraction become
+Algorithm-2 SpGEMMs — so this benchmark produces the SAINT row Figure 7
+never had, over the same GPU sweep.
+
+Asserted shapes:
+
+* sampling time falls from 16 to 64 GPUs (the scaling headline);
+* computation is embarrassingly parallel in ``p``;
+* all three derived phases receive work, and extraction (the induced-
+  subgraph SpGEMMs over the whole visited set) outweighs the per-step
+  SAMPLE cost — the graph-wise analogue of LADIES' extraction-heavy
+  profile;
+* output is bit-identical to single-rank sampling (the parity property
+  the per-batch RNG streams guarantee), so the sweep measures systems
+  effects only, never sampling noise.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.bench import format_table
+from repro.comm import Communicator, ProcessGrid
+from repro.core import GraphSaintRWSampler
+from repro.distributed import (
+    partitioned_bulk_sampling,
+    replicated_bulk_sampling,
+)
+from repro.graphs import load_dataset
+from repro.graphs.datasets import PAPER_DATASETS
+from repro.partition import BlockRows
+
+#: (p, c) pairs matching the Figure 7 annotations for each dataset.
+SWEEP = {"protein": ((16, 2), (32, 4), (64, 4)), "papers": ((16, 1), (32, 2), (64, 4))}
+WALK_LENGTH = 3
+DEPTH = (3, 3)  # GNN depth; fanout values are ignored by SAINT
+N_BATCHES, BATCH = 32, 32
+
+
+def _digest(samples) -> str:
+    h = hashlib.sha256()
+    for mb in samples:
+        for layer in mb.layers:
+            h.update(np.ascontiguousarray(layer.adj.indices).tobytes())
+            h.update(np.asarray(layer.src_ids, dtype=np.int64).tobytes())
+    return h.hexdigest()
+
+
+def partitioned_graph(dataset: str):
+    g = load_dataset(dataset, scale=1.0, seed=0)
+    scale = PAPER_DATASETS[dataset].edges / g.m
+    rng = np.random.default_rng(1)
+    batches = [rng.choice(g.n, BATCH, replace=False) for _ in range(N_BATCHES)]
+    return g, batches, scale
+
+
+@pytest.mark.parametrize("dataset", ["protein", "papers"])
+def test_fig7_saint(dataset, benchmark, record_result):
+    g, batches, scale = partitioned_graph(dataset)
+    sampler = GraphSaintRWSampler(walk_length=WALK_LENGTH)
+    reference = _digest(
+        replicated_bulk_sampling(
+            Communicator(1), sampler, g.adj, batches, DEPTH, seed=0
+        )[0]
+    )
+
+    def run():
+        rows = []
+        for p, c in SWEEP[dataset]:
+            comm = Communicator(p, work_scale=scale)
+            grid = ProcessGrid(p, c)
+            blocks = BlockRows.partition(g.adj, grid.n_rows)
+            samples, _ = partitioned_bulk_sampling(
+                comm, grid, sampler, blocks, batches, DEPTH, seed=0
+            )
+            assert _digest(samples) == reference  # parity vs single rank
+            bd = comm.clock.breakdown()
+            kinds = comm.clock.breakdown_by_kind()
+            rows.append(
+                {
+                    "p": p,
+                    "c": c,
+                    "probability": bd.get("probability", 0.0),
+                    "sampling": bd.get("sampling", 0.0),
+                    "extraction": bd.get("extraction", 0.0),
+                    "comm": sum(v for (_, k), v in kinds.items() if k == "comm"),
+                    "comp": sum(v for (_, k), v in kinds.items() if k == "compute"),
+                    "total": sum(bd.values()),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_result(
+        f"fig7_saint_{dataset}",
+        format_table(
+            rows,
+            title=(
+                f"Figure 7 (new row) [{dataset}] - partitioned GraphSAINT "
+                "sampling breakdown (sim s, one bulk of all minibatches)"
+            ),
+        ),
+    )
+
+    by_p = {r["p"]: r for r in rows}
+    # Sampling time falls from 16 to 64 GPUs.
+    assert by_p[64]["total"] < by_p[16]["total"]
+    # All three derived phases received work; extraction (subgraph
+    # induction over the visited set) outweighs the s=1 SAMPLE cost.
+    for r in rows:
+        assert r["probability"] > 0 and r["sampling"] > 0
+        assert r["extraction"] > r["sampling"]
+    # Computation scales with p (embarrassingly parallel steps).
+    assert by_p[64]["comp"] < by_p[16]["comp"]

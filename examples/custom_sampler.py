@@ -56,12 +56,16 @@ class DegreeBiasedSampler(SageSampler):
 # The sampler's state depends on graph statistics, so it registers a
 # graph-aware factory; the registry hands it the graph at build time.
 # Guarded so re-imports (e.g. via the CLI --plugin flag) stay idempotent.
+# ``algorithms`` includes "partitioned": the sampler inherits GraphSAGE's
+# sampling plan, so the 1.5D executor runs it unchanged (a registered
+# *class* would get this derived automatically; a factory hides its
+# product and declares it).
 if "degree-biased" not in SAMPLERS:
     @SAMPLERS.register(
         "degree-biased",
         default_conv="sage",
         pipeline_kwargs={"include_dst": True},
-        algorithms=("single", "replicated"),
+        algorithms=("single", "replicated", "partitioned"),
         capabilities=("sample", "train"),
         default_fanout=(10, 5),
         family="node-wise",

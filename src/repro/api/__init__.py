@@ -36,6 +36,7 @@ from .registries import (
     CapabilityError,
     load_graph_from_registry,
     make_sampler,
+    sampler_algorithms,
 )
 from .registry import Registry, RegistryEntry, RegistryKeyError
 from ..sparse.kernels import KERNELS
@@ -51,6 +52,7 @@ __all__ = [
     "KERNELS",
     "make_sampler",
     "load_graph_from_registry",
+    "sampler_algorithms",
     "ExecutionBackend",
     "SingleDeviceBackend",
     "ReplicatedBackend",

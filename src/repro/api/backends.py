@@ -99,7 +99,13 @@ class ReplicatedBackend:
 
 class PartitionedBackend:
     """Graph Partitioned (paper section 5.2): 1.5D block-row partitioned
-    ``A`` and ``Q`` with the sparsity-aware SpGEMM."""
+    ``A`` and ``Q`` with the sparsity-aware SpGEMM.
+
+    Plan-driven: the sampler's :meth:`~repro.core.MatrixSampler.plan` is
+    interpreted over the grid, so every plan-emitting sampler — node-wise,
+    layer-wise, graph-wise, or a registry plugin — runs here without
+    backend changes.
+    """
 
     name = "partitioned"
 

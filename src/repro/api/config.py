@@ -120,8 +120,19 @@ class RunConfig:
                 f"policies: {', '.join(CACHE_POLICIES)}"
             )
         check_sampler_supports(self.sampler, self.algorithm)
-        if self.p <= 0 or self.c <= 0 or self.p % self.c:
-            raise ValueError("need c | p with both positive")
+        if self.p <= 0 or self.c <= 0:
+            raise ValueError(
+                f"invalid process grid p={self.p}, c={self.c}: the GPU "
+                f"count (--p) and the replication factor (--c) must both "
+                f"be positive"
+            )
+        if self.p % self.c:
+            raise ValueError(
+                f"invalid process grid p={self.p}, c={self.c}: the "
+                f"replication factor (--c) must divide the GPU count "
+                f"(--p) — the {self.p} ranks form a p/c x c grid; try "
+                f"--c 1 or a divisor of {self.p}"
+            )
         if self.algorithm == "single" and self.p != 1:
             raise ValueError(
                 f"algorithm 'single' requires p=1, got p={self.p}"

@@ -23,10 +23,14 @@ Sampler metadata keys
     Constructor kwargs applied when the sampler is built for training
     (the built-ins add ``include_dst=True`` so models keep a root term).
 ``algorithms``
-    Execution algorithms the sampler supports; defaults to
-    ``("single", "replicated")`` because those run the sampler's own
-    ``sample_bulk`` unchanged.  Only samplers with a per-layer partitioned
-    formulation list ``"partitioned"``.
+    Explicit override of the execution algorithms the sampler supports.
+    Usually *omitted*: support is **derived** — ``single`` and
+    ``replicated`` run the sampler's own ``sample_bulk`` unchanged, and
+    ``partitioned`` is available whenever the sampler emits a sampling
+    plan (:meth:`~repro.core.MatrixSampler.plan`), because the 1.5D
+    executor interprets the plan generically.  A registered class is
+    inspected directly; a factory function hides its product, so factories
+    that want partitioned support declare it here.
 ``capabilities``
     ``"sample"`` and/or ``"train"``; a sampling-only entry raises
     :class:`~repro.api.registry.CapabilityError` from the pipeline.
@@ -59,6 +63,7 @@ __all__ = [
     "DATASETS",
     "make_sampler",
     "load_graph_from_registry",
+    "sampler_algorithms",
     "CapabilityError",
 ]
 
@@ -75,12 +80,15 @@ DATASETS = Registry("dataset")
 # ---------------------------------------------------------------------- #
 # Built-in samplers
 # ---------------------------------------------------------------------- #
+# No ``algorithms`` metadata on the built-ins: all four emit sampling
+# plans, so partitioned support is derived — including graph-wise SAINT,
+# whose walk products and subgraph induction distribute through the same
+# plan interpreter as everything else.
 SAMPLERS.register(
     "sage",
     SageSampler,
     default_conv="sage",
     pipeline_kwargs={"include_dst": True},
-    algorithms=("single", "replicated", "partitioned"),
     capabilities=("sample", "train"),
     default_fanout=(5, 3),
     family="node-wise",
@@ -90,7 +98,6 @@ SAMPLERS.register(
     LadiesSampler,
     default_conv="gcn",
     pipeline_kwargs={"include_dst": True},
-    algorithms=("single", "replicated", "partitioned"),
     capabilities=("sample", "train"),
     default_fanout=(64,),
     family="layer-wise",
@@ -100,20 +107,15 @@ SAMPLERS.register(
     FastGCNSampler,
     default_conv="gcn",
     pipeline_kwargs={"include_dst": True},
-    algorithms=("single", "replicated", "partitioned"),
     capabilities=("sample", "train"),
     default_fanout=(64,),
     family="layer-wise",
 )
-# SAINT is graph-wise: its sample_bulk produces whole induced subgraphs, so
-# it runs under any algorithm that calls sample_bulk directly (single,
-# replicated) but has no per-layer partitioned formulation.
 SAMPLERS.register(
     "saint",
     GraphSaintRWSampler,
     default_conv="gcn",
     pipeline_kwargs={},
-    algorithms=("single", "replicated"),
     capabilities=("sample", "train"),
     default_fanout=(3, 3),
     family="graph-wise",
@@ -201,15 +203,49 @@ def load_graph_from_registry(
     return DATASETS.get(name)(scale=scale, seed=seed, **kwargs)
 
 
-def check_sampler_supports(sampler: str, algorithm: str) -> None:
-    """Raise :class:`CapabilityError` if the sampler's registry metadata
-    rules out the requested execution algorithm."""
+def _emits_plan(obj: Any) -> bool:
+    """Whether a registered sampler object is known to emit a sampling
+    plan.  Classes are inspected directly (``plan`` overridden from the
+    :class:`~repro.core.MatrixSampler` base); factory functions hide their
+    product, so they must opt in via explicit ``algorithms`` metadata."""
+    if isinstance(obj, type) and issubclass(obj, MatrixSampler):
+        return obj.plan is not MatrixSampler.plan
+    return False
+
+
+def sampler_algorithms(sampler: str) -> tuple[str, ...]:
+    """Execution algorithms a registered sampler supports.
+
+    Explicit ``algorithms`` metadata wins; otherwise support is derived:
+    ``single`` and ``replicated`` always work (they run the sampler's own
+    ``sample_bulk``), and ``partitioned`` is available iff the sampler
+    emits a plan — distribution is a property of the plan, not of any
+    per-sampler distributed code.
+    """
     entry = SAMPLERS.spec(sampler)
-    supported = tuple(entry.meta("algorithms", ("single", "replicated")))
+    explicit = entry.meta("algorithms", None)
+    if explicit is not None:
+        return tuple(explicit)
+    derived = ("single", "replicated")
+    if _emits_plan(entry.obj):
+        derived += ("partitioned",)
+    return derived
+
+
+def check_sampler_supports(sampler: str, algorithm: str) -> None:
+    """Raise :class:`CapabilityError` if the sampler's (explicit or
+    derived) capabilities rule out the requested execution algorithm."""
+    supported = sampler_algorithms(sampler)
     if algorithm not in supported:
+        derived = SAMPLERS.spec(sampler).meta("algorithms", None) is None
+        why = (
+            " (it is not known to emit a sampling plan)"
+            if algorithm == "partitioned" and derived
+            else ""
+        )
         raise CapabilityError(
             f"sampler {sampler!r} does not support the {algorithm!r} "
-            f"execution algorithm; supported: {', '.join(supported)}"
+            f"execution algorithm{why}; supported: {', '.join(supported)}"
         )
 
 

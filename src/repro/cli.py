@@ -99,8 +99,10 @@ def build_parser() -> argparse.ArgumentParser:
     trn = sub.add_parser(
         "train",
         help="train the pipeline on a sim cluster",
-        description="Flags override --config; without --config the dataset "
-        "positional is required and unset flags use the defaults shown.",
+        description="Flags override --config; without --config unset flags "
+        "use the defaults shown (dataset defaults to 'products'). Giving "
+        "--c > 1 without --algorithm selects the partitioned algorithm, "
+        "the only one a replication group is meaningful for.",
     )
     trn.add_argument("dataset", nargs="?", default=None, choices=datasets)
     trn.add_argument("--config", default=None, metavar="FILE.json",
@@ -109,7 +111,9 @@ def build_parser() -> argparse.ArgumentParser:
     trn.add_argument("--epochs", type=int, default=None, help="default 3")
     trn.add_argument("--p", type=int, default=None, help="GPU count, default 4")
     trn.add_argument("--c", type=int, default=None,
-                     help="replication factor, default 1")
+                     help="replication factor of the p/c x c grid, default "
+                     "1; must divide --p (c > 1 implies --algorithm "
+                     "partitioned unless given)")
     trn.add_argument("--k", type=int, default=None,
                      help="bulk size in minibatches, default whole epoch")
     trn.add_argument("--algorithm", default=None, choices=algorithms)
@@ -236,7 +240,13 @@ def _resolve_train_config(args):
     settings = dict(
         p=4, c=1, algorithm="replicated", sampler="sage", batch_size=32,
         seed=0, scale=0.25, epochs=3, hidden=32, lr=0.01, train_split=0.5,
+        dataset="products",
     )
+    # A replication group only means something on the p/c x c grid, so an
+    # explicit --c > 1 without --algorithm selects the partitioned path
+    # instead of failing the grid validation downstream.
+    if overrides.get("c", 1) > 1 and "algorithm" not in overrides:
+        settings["algorithm"] = "partitioned"
     settings.update(overrides)
     settings.setdefault(
         "fanout",
@@ -255,6 +265,9 @@ def _cmd_train(args) -> int:
                 "no dataset given (positional argument or --config)"
             )
         engine = Engine(cfg)
+        print(f"dataset {cfg.dataset} (scale {cfg.scale}): "
+              f"sampler {cfg.sampler}, algorithm {cfg.algorithm}, "
+              f"p={cfg.p} c={cfg.c}")
         engine.pipeline  # resolve registries/capabilities before training
     except (ValueError, KeyError, FileNotFoundError) as exc:
         return _user_error(exc)

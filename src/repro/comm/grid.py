@@ -31,10 +31,17 @@ class ProcessGrid:
 
     def __post_init__(self) -> None:
         if self.p <= 0 or self.c <= 0:
-            raise ValueError(f"p and c must be positive, got p={self.p} c={self.c}")
+            raise ValueError(
+                f"invalid process grid p={self.p}, c={self.c}: the process "
+                f"count (--p) and the replication factor (--c) must both "
+                f"be positive"
+            )
         if self.p % self.c != 0:
             raise ValueError(
-                f"replication factor c={self.c} must divide process count p={self.p}"
+                f"invalid process grid p={self.p}, c={self.c}: the "
+                f"replication factor (--c) must divide the process count "
+                f"(--p) — the p ranks form a p/c x c grid; try --c 1 or a "
+                f"divisor of {self.p}"
             )
 
     @property

@@ -4,11 +4,27 @@ Algorithm 1's NORM/SAMPLE/EXTRACT abstraction, inverse transform sampling,
 and its GraphSAGE, LADIES and FastGCN instantiations.
 """
 
-from .bulk import assign_round_robin, chunk_bulks, split_stacked, stack_batches
+from .bulk import (
+    assign_round_robin,
+    batch_rng,
+    chunk_bulks,
+    reassemble_round_robin,
+    split_stacked,
+    stack_batches,
+)
 from .fastgcn_sampler import FastGCNSampler
 from .frontier import LayerSample, MinibatchSample
 from .its import gumbel_topk_rows, its_flops, its_sample_rows
 from .ladies_sampler import LadiesSampler
+from .plan import (
+    ExtractStep,
+    LocalExecutor,
+    NormStep,
+    ProbStep,
+    SampleStep,
+    SamplingPlan,
+    step_phase,
+)
 from .sage_sampler import SageSampler
 from .saint_sampler import GraphSaintRWSampler
 from .sampler_base import MatrixSampler, SpGEMMFn
@@ -22,11 +38,20 @@ __all__ = [
     "GraphSaintRWSampler",
     "LayerSample",
     "MinibatchSample",
+    "SamplingPlan",
+    "ProbStep",
+    "NormStep",
+    "SampleStep",
+    "ExtractStep",
+    "step_phase",
+    "LocalExecutor",
     "its_sample_rows",
     "gumbel_topk_rows",
     "its_flops",
     "chunk_bulks",
     "assign_round_robin",
+    "reassemble_round_robin",
+    "batch_rng",
     "stack_batches",
     "split_stacked",
 ]

@@ -20,10 +20,9 @@ from typing import Sequence
 
 import numpy as np
 
-from ..sparse import CSRMatrix, row_normalize, vstack
-from .frontier import LayerSample, MinibatchSample
+from ..sparse import CSRMatrix, row_normalize
 from .ladies_sampler import LadiesSampler
-from .sampler_base import RngSpec, SpGEMMFn
+from .plan import ExtractStep, ProbStep, SampleStep, SamplingPlan
 
 __all__ = ["FastGCNSampler"]
 
@@ -49,46 +48,15 @@ class FastGCNSampler(LadiesSampler):
         )
         return row_normalize(row)
 
-    def sample_bulk(
-        self,
-        adj: CSRMatrix,
-        batches: Sequence[np.ndarray],
-        fanout: Sequence[int],
-        rng: RngSpec,
-        *,
-        spgemm_fn: SpGEMMFn | None = None,
-    ) -> list[MinibatchSample]:
-        spgemm_fn = self._resolve_spgemm(spgemm_fn)
-        self._validate(adj, batches, fanout)
-        k = len(batches)
-        rng = self._normalize_rng(rng, k)
-        dst_lists = [np.asarray(b, dtype=np.int64) for b in batches]
-        layers_rev: list[list[LayerSample]] = [[] for _ in range(k)]
-        importance = self.importance_row(adj)
-
+    def plan(self, fanout: Sequence[int]) -> SamplingPlan:
+        """Per layer: stack ``k`` copies of the global importance row (no
+        per-layer SpGEMM, no NORM — the row is already a distribution),
+        SAMPLE, then LADIES-style bipartite extraction."""
+        steps: list = []
         for s in fanout:
-            # One independent draw from the same global distribution per
-            # batch: stack k copies of the importance row and SAMPLE.
-            p = vstack([importance] * k)
-            q_next = self.sample_stacked(p, s, rng, np.arange(k + 1))
-            sampled_lists = [q_next.row(i)[0] for i in range(k)]
-            if self.include_dst:
-                sampled_lists = [
-                    np.union1d(sampled_lists[i], dst_lists[i]) for i in range(k)
-                ]
-            a_r = self.row_extract(adj, dst_lists, spgemm_fn=spgemm_fn)
-            a_s = self.col_extract(
-                a_r, dst_lists, sampled_lists, spgemm_fn=spgemm_fn
-            )
-            for i in range(k):
-                layers_rev[i].append(
-                    LayerSample(a_s[i], sampled_lists[i], dst_lists[i])
-                )
-            dst_lists = sampled_lists
-
-        return [
-            MinibatchSample(
-                np.asarray(batches[i], dtype=np.int64), list(reversed(layers_rev[i]))
-            )
-            for i in range(k)
-        ]
+            steps += [
+                ProbStep("global"),
+                SampleStep(int(s)),
+                ExtractStep("bipartite", union_dst=self.include_dst),
+            ]
+        return SamplingPlan(tuple(steps))

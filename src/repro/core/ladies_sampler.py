@@ -34,8 +34,9 @@ from ..sparse import (
     row_selector,
     spgemm,
 )
-from .frontier import LayerSample, MinibatchSample
-from .sampler_base import MatrixSampler, RngSpec, SpGEMMFn
+from .frontier import LayerSample
+from .plan import ExtractStep, NormStep, ProbStep, SampleStep, SamplingPlan
+from .sampler_base import MatrixSampler, SpGEMMFn
 
 __all__ = ["LadiesSampler"]
 
@@ -171,51 +172,19 @@ class LadiesSampler(MatrixSampler):
         return out
 
     # ------------------------------------------------------------------ #
-    # Bulk sampling driver (single device)
+    # Plan emission: the layer-wise Algorithm-1 program
     # ------------------------------------------------------------------ #
-    def sample_bulk(
-        self,
-        adj: CSRMatrix,
-        batches: Sequence[np.ndarray],
-        fanout: Sequence[int],
-        rng: RngSpec,
-        *,
-        spgemm_fn: SpGEMMFn | None = None,
-    ) -> list[MinibatchSample]:
-        spgemm_fn = self._resolve_spgemm(spgemm_fn)
-        n = self._validate(adj, batches, fanout)
-        k = len(batches)
-        rng = self._normalize_rng(rng, k)
-        dst_lists = [np.asarray(b, dtype=np.int64) for b in batches]
-        layers_rev: list[list[LayerSample]] = [[] for _ in range(k)]
-
+    def plan(self, fanout: Sequence[int]) -> SamplingPlan:
+        steps: list = []
         for s in fanout:
-            q = self.make_q(dst_lists, n)
-            p = self.norm(spgemm_fn(q, adj))
-            # One indicator row per batch: batch i's draws come from row i.
-            q_next = self.sample_stacked(p, s, rng, np.arange(k + 1))
-            sampled_lists = [q_next.row(i)[0] for i in range(k)]
-            if self.include_dst:
-                sampled_lists = [
-                    np.union1d(sampled_lists[i], dst_lists[i]) for i in range(k)
-                ]
-            a_r = self.row_extract(adj, dst_lists, spgemm_fn=spgemm_fn)
-            a_s = self.col_extract(
-                a_r, dst_lists, sampled_lists, spgemm_fn=spgemm_fn
-            )
-            for i in range(k):
-                layer = LayerSample(a_s[i], sampled_lists[i], dst_lists[i])
-                if self.debias:
-                    probs = np.zeros(n)
-                    cols, vals = p.row(i)
-                    probs[cols] = vals
-                    layer = self.debias_layer(layer, probs, s)
-                layers_rev[i].append(layer)
-            dst_lists = sampled_lists
-
-        return [
-            MinibatchSample(
-                np.asarray(batches[i], dtype=np.int64), list(reversed(layers_rev[i]))
-            )
-            for i in range(k)
-        ]
+            steps += [
+                ProbStep("indicator"),
+                NormStep(),
+                SampleStep(int(s)),
+                ExtractStep(
+                    "bipartite",
+                    union_dst=self.include_dst,
+                    debias=self.debias,
+                ),
+            ]
+        return SamplingPlan(tuple(steps))

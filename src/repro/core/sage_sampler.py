@@ -8,7 +8,10 @@ uniform distribution over neighbors; SAMPLE keeps ``s`` per row; EXTRACT is
 just dropping the empty columns of the sampled ``Q^{l-1}`` (section 4.1.3).
 
 Bulk sampling of ``k`` minibatches stacks the per-batch frontiers vertically
-(Equation 1); all matrix steps are oblivious to the stacking.
+(Equation 1); all matrix steps are oblivious to the stacking.  The whole
+algorithm is emitted as a sampling plan — per layer ``PROB(frontier) ->
+NORM -> SAMPLE(s) -> EXTRACT(compact)`` — and interpreted by the executors
+in :mod:`repro.core.plan` and :mod:`repro.distributed.partitioned`.
 """
 
 from __future__ import annotations
@@ -23,8 +26,9 @@ from ..sparse import (
     row_normalize,
     row_selector,
 )
-from .frontier import LayerSample, MinibatchSample
-from .sampler_base import MatrixSampler, RngSpec, SpGEMMFn
+from .frontier import LayerSample
+from .plan import ExtractStep, NormStep, ProbStep, SampleStep, SamplingPlan
+from .sampler_base import MatrixSampler
 
 __all__ = ["SageSampler"]
 
@@ -89,40 +93,15 @@ class SageSampler(MatrixSampler):
         return LayerSample(adj, src, dst_ids)
 
     # ------------------------------------------------------------------ #
-    # Bulk sampling driver (single device)
+    # Plan emission: the node-wise Algorithm-1 program
     # ------------------------------------------------------------------ #
-    def sample_bulk(
-        self,
-        adj: CSRMatrix,
-        batches: Sequence[np.ndarray],
-        fanout: Sequence[int],
-        rng: RngSpec,
-        *,
-        spgemm_fn: SpGEMMFn | None = None,
-    ) -> list[MinibatchSample]:
-        spgemm_fn = self._resolve_spgemm(spgemm_fn)
-        n = self._validate(adj, batches, fanout)
-        k = len(batches)
-        rng = self._normalize_rng(rng, k)
-        dst_lists: list[np.ndarray] = [np.asarray(b, dtype=np.int64) for b in batches]
-        # layers_rev[i] collects batch i's layers from the batch outward.
-        layers_rev: list[list[LayerSample]] = [[] for _ in range(k)]
-
+    def plan(self, fanout: Sequence[int]) -> SamplingPlan:
+        steps: list = []
         for s in fanout:
-            frontier = np.concatenate(dst_lists)
-            bounds = np.cumsum([0] + [len(d) for d in dst_lists])
-            q = self.make_q(frontier, n)
-            p = self.norm(spgemm_fn(q, adj))
-            q_next = self.sample_stacked(p, s, rng, bounds)
-            new_dsts: list[np.ndarray] = []
-            for i in range(k):
-                rows = q_next.row_block(int(bounds[i]), int(bounds[i + 1]))
-                layer = self.extract_batch_layer(rows, dst_lists[i])
-                layers_rev[i].append(layer)
-                new_dsts.append(layer.src_ids)
-            dst_lists = new_dsts
-
-        return [
-            MinibatchSample(np.asarray(batches[i], dtype=np.int64), list(reversed(layers_rev[i])))
-            for i in range(k)
-        ]
+            steps += [
+                ProbStep("frontier"),
+                NormStep(),
+                SampleStep(int(s)),
+                ExtractStep("compact"),
+            ]
+        return SamplingPlan(tuple(steps))

@@ -10,14 +10,19 @@ a vertex set with short random walks from the batch roots and trains on the
 Everything is built from the same Algorithm-1 pieces:
 
 * each walk step is the GraphSAGE machinery with ``s = 1`` — one uniform
-  neighbor per frontier vertex via ``P = Q A``, NORM, SAMPLE;
+  neighbor per frontier vertex via ``P = Q A``, NORM, SAMPLE — emitted as
+  the plan stage ``PROB(frontier) -> NORM -> SAMPLE(1) -> EXTRACT(walk)``;
 * the induced subgraph is an EXTRACT: rows *and* columns of ``A``
   restricted to the walk's vertex set (a row-selector SpGEMM followed by a
-  column compaction), the same primitives LADIES extraction uses.
+  column compaction), the same primitives LADIES extraction uses — the
+  plan's final ``EXTRACT(subgraph)`` step.
 
 The result is presented as a :class:`MinibatchSample` whose ``L`` layers
 all share the same frontier (the subgraph's vertex set), which is exactly
-how GraphSAINT trains an L-layer GCN on its subgraph.
+how GraphSAINT trains an L-layer GCN on its subgraph.  Because the whole
+algorithm is a plan, SAINT runs under the partitioned executor too: the
+walk's probability products and the induction's row extraction become 1.5D
+SpGEMMs, with no SAINT-specific distributed code.
 """
 
 from __future__ import annotations
@@ -27,9 +32,9 @@ from typing import Sequence
 import numpy as np
 
 from ..sparse import CSRMatrix, row_selector
-from .frontier import LayerSample, MinibatchSample
+from .plan import ExtractStep, NormStep, ProbStep, SampleStep, SamplingPlan
 from .sage_sampler import SageSampler
-from .sampler_base import RngSpec, SpGEMMFn
+from .sampler_base import SpGEMMFn
 
 __all__ = ["GraphSaintRWSampler"]
 
@@ -55,29 +60,6 @@ class GraphSaintRWSampler(SageSampler):
             raise ValueError("walk_length must be positive")
         self.walk_length = walk_length
 
-    def _walk(
-        self,
-        adj: CSRMatrix,
-        roots: np.ndarray,
-        rng: np.random.Generator,
-        spgemm_fn: SpGEMMFn,
-    ) -> np.ndarray:
-        """Visited vertex set of one random walk per root (roots included)."""
-        n = adj.shape[0]
-        visited = [roots]
-        frontier = roots
-        for _ in range(self.walk_length):
-            q = self.make_q(frontier, n)
-            p = self.norm(spgemm_fn(q, adj))
-            step = self.sample(p, 1, rng)
-            # Walkers on isolated vertices stay in place.
-            next_frontier = frontier.copy()
-            rows_with_pick = np.flatnonzero(step.nnz_per_row() > 0)
-            next_frontier[rows_with_pick] = step.indices
-            visited.append(next_frontier)
-            frontier = next_frontier
-        return np.unique(np.concatenate(visited))
-
     def induced_subgraph(
         self,
         adj: CSRMatrix,
@@ -92,61 +74,20 @@ class GraphSaintRWSampler(SageSampler):
         mask[vertices] = True
         return rows.select_columns(mask)
 
-    def sample_bulk(
-        self,
-        adj: CSRMatrix,
-        batches: Sequence[np.ndarray],
-        fanout: Sequence[int],
-        rng: RngSpec,
-        *,
-        spgemm_fn: SpGEMMFn | None = None,
-    ) -> list[MinibatchSample]:
-        spgemm_fn = self._resolve_spgemm(spgemm_fn)
-        self._validate(adj, batches, fanout)
-        rng = self._normalize_rng(rng, len(batches))
-        n_layers = len(fanout)
-        # Bulk: all batches' walks run in one stacked frontier per step.
-        stacked = np.concatenate([np.asarray(b, dtype=np.int64) for b in batches])
-        bounds = np.cumsum([0] + [len(b) for b in batches])
-        # Walk the stacked roots together (Equation 1 stacking), then split.
-        visited_all = self._split_walk(adj, stacked, bounds, rng, spgemm_fn)
-
-        out: list[MinibatchSample] = []
-        for i, batch in enumerate(batches):
-            batch = np.asarray(batch, dtype=np.int64)
-            verts = np.union1d(visited_all[i], batch)
-            sub = self.induced_subgraph(adj, verts, spgemm_fn=spgemm_fn)
-            # L identical subgraph layers, then a final restriction onto
-            # the batch vertices so the last dst set is the batch.
-            layers = [
-                LayerSample(sub, verts, verts) for _ in range(n_layers - 1)
-            ]
-            pos = np.searchsorted(verts, batch)
-            batch_rows = sub.extract_rows(pos)
-            layers.append(LayerSample(batch_rows, verts, batch))
-            out.append(MinibatchSample(batch, layers))
-        return out
-
-    def _split_walk(self, adj, stacked, bounds, rng, spgemm_fn):
-        """Per-batch visited sets from one stacked (bulk) walk."""
-        n = adj.shape[0]
-        frontier = stacked.copy()
-        per_step = [stacked.copy()]
+    # ------------------------------------------------------------------ #
+    # Plan emission: the graph-wise Algorithm-1 program
+    # ------------------------------------------------------------------ #
+    def plan(self, fanout: Sequence[int]) -> SamplingPlan:
+        """``walk_length`` GraphSAGE-with-``s=1`` stages advancing every
+        root's walk position, then one subgraph induction emitting all
+        ``len(fanout)`` layers (fanout values are only the GNN depth)."""
+        steps: list = []
         for _ in range(self.walk_length):
-            q = self.make_q(frontier, n)
-            p = self.norm(spgemm_fn(q, adj))
-            step = self.sample_stacked(p, 1, rng, bounds)
-            nxt = frontier.copy()
-            rows_with_pick = np.flatnonzero(step.nnz_per_row() > 0)
-            nxt[rows_with_pick] = step.indices
-            per_step.append(nxt)
-            frontier = nxt
-        k = len(bounds) - 1
-        return [
-            np.unique(
-                np.concatenate(
-                    [stepv[bounds[i] : bounds[i + 1]] for stepv in per_step]
-                )
-            )
-            for i in range(k)
-        ]
+            steps += [
+                ProbStep("frontier"),
+                NormStep(),
+                SampleStep(1),
+                ExtractStep("walk"),
+            ]
+        steps.append(ExtractStep("subgraph", n_layers=len(fanout)))
+        return SamplingPlan(tuple(steps))

@@ -1,6 +1,6 @@
 """The matrix-based sampling abstraction (paper Algorithm 1).
 
-Every sampling algorithm is the same loop over layers::
+Every sampling algorithm is the same program over layers::
 
     for l = L .. 1:
         P       = Q^l A          # generate probability distributions
@@ -10,13 +10,20 @@ Every sampling algorithm is the same loop over layers::
 
 Samplers differ only in how ``Q`` is constructed, how ``NORM`` turns the
 SpGEMM output into per-row distributions, and what ``EXTRACT`` keeps.  The
-:class:`MatrixSampler` base class pins that contract; the SAMPLE step is
-shared (ITS, with a Gumbel backend option) and lives in
+:class:`MatrixSampler` base class pins that contract: a sampler *emits*
+that program as a declarative :class:`~repro.core.plan.SamplingPlan` (four
+step types — PROB / NORM / SAMPLE / EXTRACT) via :meth:`MatrixSampler.plan`
+and implements the row-local primitives the steps reference.  The SAMPLE
+step is shared (ITS, with a Gumbel backend option) and lives in
 :mod:`repro.core.its`.
 
-Distributed drivers (:mod:`repro.distributed`) reuse the same NORM/SAMPLE
-pieces on their local block rows and substitute distributed SpGEMMs for the
-``Q^l A`` products, so sampler semantics are defined exactly once.
+Execution is an executor concern, not a sampler concern:
+:meth:`MatrixSampler.sample_bulk` hands the plan to the single-device
+:class:`~repro.core.plan.LocalExecutor`, while the distributed drivers
+(:mod:`repro.distributed`) interpret the *same* plan with distributed
+SpGEMMs substituted for the ``Q^l A`` products — so sampler semantics are
+defined exactly once and distributed support is a derived capability
+("the sampler has a plan").
 """
 
 from __future__ import annotations
@@ -30,6 +37,7 @@ from ..sparse import CSRMatrix, vstack
 from ..sparse.kernels import KernelSpec, get_kernel
 from .frontier import MinibatchSample
 from .its import gumbel_topk_rows, its_sample_rows
+from .plan import LocalExecutor, SamplingPlan
 
 __all__ = ["MatrixSampler", "SpGEMMFn", "RngSpec"]
 
@@ -143,9 +151,20 @@ class MatrixSampler(ABC):
         return vstack(parts)
 
     # ------------------------------------------------------------------ #
-    # Whole-algorithm entry point (single device)
+    # Plan emission + whole-algorithm entry point (single device)
     # ------------------------------------------------------------------ #
-    @abstractmethod
+    def plan(self, fanout: Sequence[int]) -> SamplingPlan | None:
+        """Emit this sampler's declarative program for a concrete fanout.
+
+        Returning a :class:`~repro.core.plan.SamplingPlan` is what makes a
+        sampler executable — locally through :meth:`sample_bulk`, and
+        under *every* distributed executor (replicated runs the local plan
+        per rank; partitioned interprets the same plan over the 1.5D
+        grid).  The base returns ``None``: no matrix program, so only a
+        hand-written ``sample_bulk`` override could run it.
+        """
+        return None
+
     def sample_bulk(
         self,
         adj: CSRMatrix,
@@ -165,7 +184,22 @@ class MatrixSampler(ABC):
         only from its own stream — see :data:`RngSpec`).  ``spgemm_fn=None``
         uses the sampler's kernel backend; distributed drivers and cost
         recorders pass their own wrapper.
+
+        The default implementation emits :meth:`plan` and interprets it
+        with the single-device :class:`~repro.core.plan.LocalExecutor`;
+        samplers without a plan must override this method instead.
         """
+        spgemm_fn = self._resolve_spgemm(spgemm_fn)
+        self._validate(adj, batches, fanout)
+        program = self.plan(tuple(int(s) for s in fanout))
+        if program is None:
+            raise TypeError(
+                f"{type(self).__name__} emits no sampling plan; implement "
+                f"plan() (preferred — distribution comes for free) or "
+                f"override sample_bulk()"
+            )
+        rng = self._normalize_rng(rng, len(batches))
+        return LocalExecutor(self, adj, batches, rng, spgemm_fn).run(program)
 
     # ------------------------------------------------------------------ #
     # Shared validation

@@ -8,7 +8,7 @@ from .instrument import (
     RecordingSpGEMM,
     charge_sampling,
 )
-from .partitioned import partitioned_bulk_sampling
+from .partitioned import PartitionedExecutor, partitioned_bulk_sampling
 from .replicated import assign_batches, batch_rng, replicated_bulk_sampling
 from .spgemm_15d import spgemm_15d, stage_blocks
 
@@ -17,6 +17,7 @@ __all__ = [
     "stage_blocks",
     "replicated_bulk_sampling",
     "partitioned_bulk_sampling",
+    "PartitionedExecutor",
     "assign_batches",
     "batch_rng",
     "RecordingSpGEMM",

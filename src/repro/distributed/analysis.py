@@ -41,7 +41,10 @@ class ProbCostInputs:
 
     def __post_init__(self) -> None:
         if self.p <= 0 or self.c <= 0 or self.p % self.c:
-            raise ValueError("need c | p with both positive")
+            raise ValueError(
+                f"invalid process grid p={self.p}, c={self.c}: p and c "
+                f"must be positive with c dividing p (a p/c x c grid)"
+            )
         if self.k <= 0 or self.b <= 0 or self.d < 0:
             raise ValueError("k, b must be positive; d non-negative")
 

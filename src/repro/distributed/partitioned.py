@@ -2,14 +2,31 @@
 
 Both the adjacency matrix ``A`` and the stacked bulk ``Q`` are partitioned
 into ``p/c`` block rows on a ``p/c x c`` process grid, with each block row
-replicated ``c`` times.  The probability product ``P = Q A`` (and, for
-LADIES, the row-extraction product ``Q_R A``) runs as the sparsity-aware
-1.5D SpGEMM of Algorithm 2; NORM, SAMPLE and the remaining EXTRACT work are
-row-local, exactly as the paper's per-step analysis states (sections
-5.2.1-5.2.3).
+replicated ``c`` times.  Execution is *plan-driven*: the sampler emits the
+same declarative :class:`~repro.core.plan.SamplingPlan` the single-device
+executor runs, and :class:`PartitionedExecutor` interprets each step over
+the grid —
 
-Per-phase simulated time is attributed to the phases Figure 7 plots:
-``probability``, ``sampling``, ``extraction``.
+* ``PROB`` steps run as the sparsity-aware 1.5D SpGEMM of Algorithm 2
+  (:func:`~repro.distributed.spgemm_15d.spgemm_15d`), or as the
+  all-reduced global importance vector for FastGCN-style samplers;
+* ``NORM`` and ``SAMPLE`` are row-local, exactly as the paper's per-step
+  analysis states (sections 5.2.1-5.2.2);
+* ``EXTRACT`` is row-local column compaction (node-wise), a distributed
+  row-extraction SpGEMM plus per-batch column extraction split across each
+  process row's ``c`` replicas (layer-wise, section 5.2.3), a row-local
+  walk advance, or a distributed subgraph induction (graph-wise).
+
+There is no per-algorithm code here: any sampler with a plan — including
+registry plugins and GraphSAINT — runs partitioned.  Per-phase simulated
+time is attributed to the phases Figure 7 plots (``probability`` /
+``sampling`` / ``extraction``), derived from the step types via
+:func:`~repro.core.plan.step_phase`.
+
+Randomness is one independent stream per minibatch, keyed by the *global*
+batch index (:func:`~repro.core.bulk.batch_rng`) — the same discipline the
+replicated driver uses — so sampling output is bit-identical across grid
+shapes (any ``p``, any ``c``) and across execution algorithms.
 """
 
 from __future__ import annotations
@@ -20,19 +37,28 @@ import numpy as np
 
 from ..comm import Communicator, ProcessGrid
 from ..core import (
-    LadiesSampler,
+    MatrixSampler,
     MinibatchSample,
-    SageSampler,
     assign_round_robin,
+    batch_rng,
+    reassemble_round_robin,
+    step_phase,
 )
 from ..core.frontier import LayerSample
+from ..core.plan import (
+    ExtractStep,
+    NormStep,
+    ProbStep,
+    SampleStep,
+    SamplingPlan,
+)
 from ..partition.block1d import BlockRows
-from ..sparse import CSRMatrix, row_selector
+from ..sparse import CSRMatrix, row_selector, vstack
 from ..sparse.kernels import get_kernel
 from .instrument import sample_norm_flops
 from .spgemm_15d import spgemm_15d
 
-__all__ = ["partitioned_bulk_sampling"]
+__all__ = ["partitioned_bulk_sampling", "PartitionedExecutor"]
 
 
 def _charge_row(
@@ -58,10 +84,425 @@ def _make_q_blocks(
     return BlockRows(per_row_matrices, starts, n_cols)
 
 
+class PartitionedExecutor:
+    """Interpret a :class:`~repro.core.plan.SamplingPlan` on the 1.5D grid.
+
+    Holds the per-process-row state Algorithm 2 threads between steps:
+    each row's owned batches with their destination lists and per-batch RNG
+    streams, the current probability block rows with their row-to-batch
+    bounds, the sampled ``Q``, collected layers, and (for graph-wise plans)
+    the walk history.  All matrix arithmetic is exact, so output equals the
+    local executor's for the same per-batch streams.
+    """
+
+    def __init__(
+        self,
+        comm: Communicator,
+        grid: ProcessGrid,
+        sampler: MatrixSampler,
+        a_blocks: BlockRows,
+        batches: Sequence[np.ndarray],
+        seed: int,
+        *,
+        sparsity_aware: bool = True,
+        kernel=None,
+    ) -> None:
+        if a_blocks.n_blocks != grid.n_rows:
+            raise ValueError(
+                f"A must be partitioned into {grid.n_rows} block rows, "
+                f"got {a_blocks.n_blocks}"
+            )
+        self.comm = comm
+        self.grid = grid
+        self.sampler = sampler
+        self.a_blocks = a_blocks
+        self.n = a_blocks.n_cols
+        self.n_rows = grid.n_rows
+        self.sparsity_aware = sparsity_aware
+        self.kernel = kernel if kernel is not None else getattr(
+            sampler, "kernel", None
+        )
+        self.batches = [np.asarray(b, dtype=np.int64) for b in batches]
+        self.owners = assign_round_robin(len(batches), grid.n_rows)
+        rows = range(self.n_rows)
+        # Per-row frontier state and per-batch RNG streams (global index).
+        self.dst: list[list[np.ndarray]] = [
+            [self.batches[i] for i in self.owners[row]] for row in rows
+        ]
+        self.rngs = [
+            [batch_rng(seed, int(i)) for i in self.owners[row]] for row in rows
+        ]
+        self.layers_rev: list[list[list[LayerSample]]] = [
+            [[] for _ in self.owners[row]] for row in rows
+        ]
+        self.results: dict[int, MinibatchSample] = {}
+        # Step-to-step dataflow, one entry per process row.
+        self.p_blocks: list[CSRMatrix] | None = None
+        self.q_next: list[CSRMatrix | None] | None = None
+        self.bounds: list[np.ndarray] | None = None
+        self.frontier: list[np.ndarray] | None = None
+        self.visited: list[list[np.ndarray] | None] = [None] * self.n_rows
+        self.importance: CSRMatrix | None = None
+        self.s: int | None = None
+
+    # ------------------------------------------------------------------ #
+    # Driver
+    # ------------------------------------------------------------------ #
+    def run(self, plan: SamplingPlan) -> list[MinibatchSample]:
+        for step in plan.steps:
+            with self.comm.phase(step_phase(step)):
+                if isinstance(step, ProbStep):
+                    self._prob(step)
+                elif isinstance(step, NormStep):
+                    self._norm()
+                elif isinstance(step, SampleStep):
+                    self._sample(step)
+                else:
+                    self._extract(step)
+        samples_by_row = [
+            [
+                self.results[i]
+                if i in self.results
+                else MinibatchSample(
+                    self.batches[i],
+                    list(reversed(self.layers_rev[row][local])),
+                )
+                for local, i in enumerate(self.owners[row])
+            ]
+            for row in range(self.n_rows)
+        ]
+        return reassemble_round_robin(samples_by_row, len(self.batches))
+
+    # ------------------------------------------------------------------ #
+    # PROB: distributed probability generation (section 5.2.1)
+    # ------------------------------------------------------------------ #
+    def _prob(self, step: ProbStep) -> None:
+        if step.source == "global":
+            self._prob_global()
+            return
+        q_rows: list[CSRMatrix] = []
+        self.bounds = []
+        self.frontier = []
+        for row in range(self.n_rows):
+            dsts = self.dst[row]
+            if step.source == "frontier":
+                frontier = (
+                    np.concatenate(dsts)
+                    if dsts
+                    else np.empty(0, dtype=np.int64)
+                )
+                self.frontier.append(frontier)
+                self.bounds.append(
+                    np.cumsum([0] + [len(d) for d in dsts])
+                )
+                q_rows.append(self.sampler.make_q(frontier, self.n))
+                _charge_row(
+                    self.comm, self.grid, row, nbytes=16.0 * frontier.size
+                )
+            else:  # indicator: one row per owned batch
+                self.frontier.append(np.empty(0, dtype=np.int64))
+                self.bounds.append(np.arange(len(dsts) + 1))
+                if dsts:
+                    q_rows.append(self.sampler.make_q(dsts, self.n))
+                else:
+                    q_rows.append(CSRMatrix.zeros((0, self.n)))
+                _charge_row(
+                    self.comm, self.grid, row,
+                    nbytes=16.0 * sum(len(d) for d in dsts),
+                )
+        self.p_blocks = spgemm_15d(
+            self.comm, self.grid, _make_q_blocks(q_rows, self.n),
+            self.a_blocks, sparsity_aware=self.sparsity_aware,
+            kernel=self.kernel,
+        )
+
+    def _prob_global(self) -> None:
+        """FastGCN-style global importance: each block row contributes its
+        local column squared sums; one all-reduce per process column
+        combines them (every column holds all blocks).  Computed once and
+        reused by every later global PROB step."""
+        if self.importance is None:
+            local_sq = []
+            for row in range(self.n_rows):
+                blk = self.a_blocks.blocks[row]
+                sq = np.zeros(self.n, dtype=np.float64)
+                if blk.nnz:
+                    np.add.at(sq, blk.indices, blk.data**2)
+                local_sq.append(sq)
+                _charge_row(
+                    self.comm, self.grid, row,
+                    flops=2.0 * blk.nnz, nbytes=16.0 * blk.nnz,
+                )
+            col_sq = None
+            for j in range(self.grid.c):
+                col_sq = self.comm.allreduce(
+                    local_sq, self.grid.col_ranks(j)
+                )
+            cols = np.flatnonzero(col_sq)
+            from ..sparse import row_normalize
+
+            self.importance = row_normalize(
+                CSRMatrix.from_coo(
+                    np.zeros(cols.size, dtype=np.int64), cols, col_sq[cols],
+                    (1, self.n),
+                )
+            )
+        self.p_blocks = []
+        self.bounds = []
+        self.frontier = []
+        for row in range(self.n_rows):
+            kb = len(self.dst[row])
+            self.p_blocks.append(
+                vstack([self.importance] * kb)
+                if kb
+                else CSRMatrix.zeros((0, self.n))
+            )
+            self.bounds.append(np.arange(kb + 1))
+            self.frontier.append(np.empty(0, dtype=np.int64))
+
+    # ------------------------------------------------------------------ #
+    # NORM + SAMPLE: row-local (section 5.2.2)
+    # ------------------------------------------------------------------ #
+    def _norm(self) -> None:
+        self.p_blocks = [
+            self.sampler.norm(p) for p in self.p_blocks
+        ]
+
+    def _sample(self, step: SampleStep) -> None:
+        self.s = step.count
+        self.q_next = []
+        for row in range(self.n_rows):
+            if not self.owners[row]:
+                self.q_next.append(None)
+                continue
+            p = self.p_blocks[row]
+            self.q_next.append(
+                self.sampler.sample_stacked(
+                    p, step.count, self.rngs[row], self.bounds[row]
+                )
+            )
+            _charge_row(
+                self.comm, self.grid, row,
+                flops=sample_norm_flops(p, step.count),
+                nbytes=24.0 * p.nnz,
+                kernels=4,
+            )
+
+    # ------------------------------------------------------------------ #
+    # EXTRACT (section 5.2.3)
+    # ------------------------------------------------------------------ #
+    def _extract(self, step: ExtractStep) -> None:
+        if step.kind == "compact":
+            self._extract_compact()
+        elif step.kind == "bipartite":
+            self._extract_bipartite(step)
+        elif step.kind == "walk":
+            self._extract_walk()
+        else:
+            self._extract_subgraph(step)
+
+    def _extract_compact(self) -> None:
+        """Row-local column compaction: each batch's sampled rows drop
+        their empty columns and the kept columns become its new frontier."""
+        for row in range(self.n_rows):
+            q_next = self.q_next[row]
+            if q_next is None:
+                continue
+            bounds = self.bounds[row]
+            new_dsts = []
+            for b, dst in enumerate(self.dst[row]):
+                rows = q_next.row_block(int(bounds[b]), int(bounds[b + 1]))
+                layer = self.sampler.extract_batch_layer(rows, dst)
+                self.layers_rev[row][b].append(layer)
+                new_dsts.append(layer.src_ids)
+            self.dst[row] = new_dsts
+            _charge_row(
+                self.comm, self.grid, row,
+                nbytes=24.0 * q_next.nnz, kernels=2,
+            )
+
+    def _sampled_lists(self, step: ExtractStep) -> list[list[np.ndarray]]:
+        """Per-row per-batch sampled vertex sets read off ``q_next`` rows
+        (layer-wise plans: one P row per batch)."""
+        out: list[list[np.ndarray]] = []
+        for row in range(self.n_rows):
+            q_next = self.q_next[row]
+            if q_next is None:
+                out.append([])
+                continue
+            sampled = [
+                q_next.row(b)[0] for b in range(len(self.dst[row]))
+            ]
+            if step.union_dst:
+                sampled = [
+                    np.union1d(sv, dv)
+                    for sv, dv in zip(sampled, self.dst[row])
+                ]
+            out.append(sampled)
+        return out
+
+    def _extract_bipartite(self, step: ExtractStep) -> None:
+        """Distributed row extraction (1.5D SpGEMM) followed by per-batch
+        column extraction split across each process row's replicas
+        (section 5.2.3)."""
+        sampled_by_row = self._sampled_lists(step)
+        ar_blocks = self._row_extract_15d(self.dst)
+        for row in range(self.n_rows):
+            a_r = ar_blocks[row]
+            dsts = self.dst[row]
+            if not dsts:
+                continue
+            # Thread the selected kernel explicitly: col_extract would
+            # otherwise fall back to the sampler's own backend, losing a
+            # kernel= override on the product that dominates LADIES.
+            adjs = self.sampler.col_extract(
+                a_r, dsts, sampled_by_row[row],
+                spgemm_fn=get_kernel(self.kernel).spgemm,
+            )
+            bounds = np.cumsum([0] + [len(d) for d in dsts])
+            self._charge_split_extraction(row, a_r, bounds, adjs)
+            for b, (adj, sampled, dst) in enumerate(
+                zip(adjs, sampled_by_row[row], dsts)
+            ):
+                layer = LayerSample(adj, sampled, dst)
+                if step.debias:
+                    probs = np.zeros(self.n)
+                    cols, vals = self.p_blocks[row].row(b)
+                    probs[cols] = vals
+                    layer = self.sampler.debias_layer(layer, probs, self.s)
+                self.layers_rev[row][b].append(layer)
+            self.dst[row] = sampled_by_row[row]
+
+    def _row_extract_15d(
+        self, vert_lists_by_row: list[list[np.ndarray]]
+    ) -> list[CSRMatrix]:
+        """``A_R = Q_R A`` over the grid: one selector row per stacked
+        vertex of each process row's per-batch lists."""
+        qr_rows = []
+        for row in range(self.n_rows):
+            stacked = (
+                np.concatenate(vert_lists_by_row[row])
+                if vert_lists_by_row[row]
+                else np.empty(0, dtype=np.int64)
+            )
+            qr_rows.append(row_selector(stacked, self.n))
+        return spgemm_15d(
+            self.comm, self.grid, _make_q_blocks(qr_rows, self.n),
+            self.a_blocks, sparsity_aware=self.sparsity_aware,
+            kernel=self.kernel,
+        )
+
+    def _charge_split_extraction(
+        self,
+        row: int,
+        a_r: CSRMatrix,
+        bounds: np.ndarray,
+        adjs: list[CSRMatrix],
+    ) -> None:
+        """Charge the per-batch column-extraction SpGEMMs, split across the
+        process row's ``c`` replicas, then all-gather the results so every
+        replica holds every batch (section 5.2.3)."""
+        batch_ar_nnz = [
+            int(a_r.indptr[int(bounds[b + 1])] - a_r.indptr[int(bounds[b])])
+            for b in range(len(adjs))
+        ]
+        shares = assign_round_robin(len(adjs), self.grid.c)
+        for j, share in enumerate(shares):
+            # Each per-batch SpGEMM scans its A_R rows once, plus the
+            # n-row indptr of its hypersparse column selector (the
+            # section-8.2.2 memory traffic that dominates LADIES).
+            flops = sum(2.0 * batch_ar_nnz[b] for b in share)
+            self.comm.compute(
+                self.grid.rank(row, j),
+                flops=flops,
+                nbytes=sum(
+                    24.0 * (batch_ar_nnz[b] + adjs[b].nnz) + 8.0 * self.n
+                    for b in share
+                ),
+                kernels=max(1, len(share)),
+            )
+        self.comm.allgather(
+            [[adjs[b] for b in shares[j]] for j in range(self.grid.c)],
+            self.grid.row_ranks(row),
+        )
+
+    def _extract_walk(self) -> None:
+        """Row-local walk advance: walkers with a sampled neighbor move,
+        walkers on isolated vertices stay in place."""
+        for row in range(self.n_rows):
+            q_next = self.q_next[row]
+            if q_next is None:
+                continue
+            frontier = self.frontier[row]
+            if self.visited[row] is None:
+                self.visited[row] = [frontier]
+            nxt = frontier.copy()
+            picked = np.flatnonzero(q_next.nnz_per_row() > 0)
+            nxt[picked] = q_next.indices
+            self.visited[row].append(nxt)
+            bounds = self.bounds[row]
+            self.dst[row] = [
+                nxt[int(bounds[b]) : int(bounds[b + 1])]
+                for b in range(len(self.dst[row]))
+            ]
+            _charge_row(
+                self.comm, self.grid, row,
+                nbytes=16.0 * nxt.size, kernels=2,
+            )
+
+    def _extract_subgraph(self, step: ExtractStep) -> None:
+        """Distributed subgraph induction: the stacked per-batch vertex
+        sets row-extract ``A`` through the 1.5D SpGEMM, then each batch's
+        column compaction runs once per process row, split across its
+        ``c`` replicas like the layer-wise extraction."""
+        verts_by_row: list[list[np.ndarray]] = []
+        for row in range(self.n_rows):
+            verts = []
+            for b, i in enumerate(self.owners[row]):
+                batch = self.batches[i]
+                hist = self.visited[row]
+                if hist is None:
+                    hist = [
+                        np.concatenate(self.dst[row])
+                        if self.dst[row]
+                        else np.empty(0, dtype=np.int64)
+                    ]
+                bounds = self.bounds[row]
+                lo, hi = int(bounds[b]), int(bounds[b + 1])
+                mine = np.unique(
+                    np.concatenate([stepv[lo:hi] for stepv in hist])
+                )
+                verts.append(np.union1d(mine, batch))
+            verts_by_row.append(verts)
+        ar_blocks = self._row_extract_15d(verts_by_row)
+        for row in range(self.n_rows):
+            verts = verts_by_row[row]
+            if not verts:
+                continue
+            a_r = ar_blocks[row]
+            bounds = np.cumsum([0] + [len(v) for v in verts])
+            subs = []
+            for b, v in enumerate(verts):
+                rows = a_r.row_block(int(bounds[b]), int(bounds[b + 1]))
+                mask = np.zeros(self.n, dtype=bool)
+                mask[v] = True
+                subs.append(rows.select_columns(mask))
+            self._charge_split_extraction(row, a_r, bounds, subs)
+            for b, i in enumerate(self.owners[row]):
+                batch = self.batches[i]
+                sub, v = subs[b], verts[b]
+                layers = [
+                    LayerSample(sub, v, v) for _ in range(step.n_layers - 1)
+                ]
+                pos = np.searchsorted(v, batch)
+                layers.append(LayerSample(sub.extract_rows(pos), v, batch))
+                self.results[i] = MinibatchSample(batch, layers)
+
+
 def partitioned_bulk_sampling(
     comm: Communicator,
     grid: ProcessGrid,
-    sampler: SageSampler | LadiesSampler,
+    sampler: MatrixSampler,
     a_blocks: BlockRows,
     batches: Sequence[np.ndarray],
     fanout: Sequence[int],
@@ -73,381 +514,27 @@ def partitioned_bulk_sampling(
     """Sample one bulk of minibatches with the 1.5D partitioned algorithm.
 
     ``a_blocks`` must be partitioned into ``grid.n_rows`` block rows.
-    Batches are assigned round-robin to process rows.  ``kernel`` selects
-    the local SpGEMM backend of the distributed products (``None`` = the
-    sampler's own backend).  Returns the samples in the input batch order
-    plus the per-process-row ownership lists.
+    Batches are assigned round-robin to process rows; each batch draws from
+    its own RNG stream keyed by its global index, so output is invariant to
+    the grid shape.  ``kernel`` selects the local SpGEMM backend of the
+    distributed products (``None`` = the sampler's own backend).  Returns
+    the samples in the input batch order plus the per-process-row ownership
+    lists.
+
+    Works for *any* sampler that emits a sampling plan (built-ins and
+    registry plugins alike); a sampler without a plan raises ``TypeError``
+    because there is nothing to distribute.
     """
-    if kernel is None:
-        kernel = getattr(sampler, "kernel", None)
-    if a_blocks.n_blocks != grid.n_rows:
-        raise ValueError(
-            f"A must be partitioned into {grid.n_rows} block rows, "
-            f"got {a_blocks.n_blocks}"
-        )
-    n = a_blocks.n_cols
-    owners = assign_round_robin(len(batches), grid.n_rows)
-    rngs = [
-        np.random.default_rng(np.random.SeedSequence([seed, row]))
-        for row in range(grid.n_rows)
-    ]
-    from ..core import FastGCNSampler  # local import to avoid cycle noise
-
-    if isinstance(sampler, FastGCNSampler):
-        samples_by_row = _fastgcn_partitioned(
-            comm, grid, sampler, a_blocks, batches, owners, fanout, rngs,
-            sparsity_aware, kernel,
-        )
-    elif isinstance(sampler, LadiesSampler):
-        samples_by_row = _ladies_partitioned(
-            comm, grid, sampler, a_blocks, batches, owners, fanout, rngs,
-            sparsity_aware, kernel,
-        )
-    elif isinstance(sampler, SageSampler):
-        samples_by_row = _sage_partitioned(
-            comm, grid, sampler, a_blocks, batches, owners, fanout, rngs,
-            sparsity_aware, kernel,
-        )
-    else:
+    plan_fn = getattr(sampler, "plan", None)
+    plan = plan_fn(tuple(int(s) for s in fanout)) if callable(plan_fn) else None
+    if plan is None:
         raise TypeError(
-            f"partitioned sampling supports SAGE and LADIES-family samplers, "
-            f"got {type(sampler).__name__}"
+            f"partitioned sampling needs a sampler that emits a sampling "
+            f"plan; {type(sampler).__name__} does not (implement "
+            f"MatrixSampler.plan())"
         )
-    # Reassemble into input batch order.
-    out: list[MinibatchSample | None] = [None] * len(batches)
-    for row, idxs in enumerate(owners):
-        for local, global_idx in enumerate(idxs):
-            out[global_idx] = samples_by_row[row][local]
-    return out, owners  # type: ignore[return-value]
-
-
-# ---------------------------------------------------------------------- #
-# GraphSAGE
-# ---------------------------------------------------------------------- #
-def _sage_partitioned(
-    comm: Communicator,
-    grid: ProcessGrid,
-    sampler: SageSampler,
-    a_blocks: BlockRows,
-    batches: Sequence[np.ndarray],
-    owners: list[list[int]],
-    fanout: Sequence[int],
-    rngs: list[np.random.Generator],
-    sparsity_aware: bool,
-    kernel=None,
-) -> list[list[MinibatchSample]]:
-    n = a_blocks.n_cols
-    n_rows = grid.n_rows
-    dst_by_row: list[list[np.ndarray]] = [
-        [np.asarray(batches[i], dtype=np.int64) for i in owners[row]]
-        for row in range(n_rows)
-    ]
-    layers_rev: list[list[list[LayerSample]]] = [
-        [[] for _ in owners[row]] for row in range(n_rows)
-    ]
-
-    for s in fanout:
-        # --- probability: distributed P = Q A -------------------------- #
-        with comm.phase("probability"):
-            q_rows = []
-            for row in range(n_rows):
-                frontier = (
-                    np.concatenate(dst_by_row[row])
-                    if dst_by_row[row]
-                    else np.empty(0, dtype=np.int64)
-                )
-                q_rows.append(sampler.make_q(frontier, n))
-                _charge_row(comm, grid, row, nbytes=16.0 * frontier.size)
-            p_blocks = spgemm_15d(
-                comm, grid, _make_q_blocks(q_rows, n), a_blocks,
-                sparsity_aware=sparsity_aware, kernel=kernel,
-            )
-        # --- sampling: row-local NORM + SAMPLE ------------------------- #
-        q_next_by_row = []
-        with comm.phase("sampling"):
-            for row in range(n_rows):
-                p = sampler.norm(p_blocks[row])
-                q_next_by_row.append(sampler.sample(p, s, rngs[row]))
-                _charge_row(
-                    comm, grid, row,
-                    flops=sample_norm_flops(p, s),
-                    nbytes=24.0 * p.nnz,
-                    kernels=4,
-                )
-        # --- extraction: row-local column compaction ------------------- #
-        with comm.phase("extraction"):
-            for row in range(n_rows):
-                q_next = q_next_by_row[row]
-                bounds = np.cumsum([0] + [len(d) for d in dst_by_row[row]])
-                new_dsts = []
-                for b, dst in enumerate(dst_by_row[row]):
-                    rows = q_next.row_block(int(bounds[b]), int(bounds[b + 1]))
-                    layer = sampler.extract_batch_layer(rows, dst)
-                    layers_rev[row][b].append(layer)
-                    new_dsts.append(layer.src_ids)
-                dst_by_row[row] = new_dsts
-                _charge_row(
-                    comm, grid, row, nbytes=24.0 * q_next.nnz, kernels=2
-                )
-
-    return [
-        [
-            MinibatchSample(
-                np.asarray(batches[owners[row][b]], dtype=np.int64),
-                list(reversed(layers_rev[row][b])),
-            )
-            for b in range(len(owners[row]))
-        ]
-        for row in range(n_rows)
-    ]
-
-
-# ---------------------------------------------------------------------- #
-# Shared LADIES/FastGCN extraction step (section 5.2.3)
-# ---------------------------------------------------------------------- #
-def _ladies_extraction_step(
-    comm: Communicator,
-    grid: ProcessGrid,
-    sampler: LadiesSampler,
-    a_blocks: BlockRows,
-    dst_by_row: list[list[np.ndarray]],
-    sampled_by_row: list[list[np.ndarray]],
-    layers_rev: list[list[list[LayerSample]]],
-    sparsity_aware: bool,
-    kernel=None,
-) -> None:
-    """Distributed row extraction (1.5D SpGEMM) followed by per-batch column
-    extraction split across each process row's replicas (section 5.2.3)."""
-    n = a_blocks.n_cols
-    n_rows = grid.n_rows
-    with comm.phase("extraction"):
-        qr_rows = []
-        for row in range(n_rows):
-            stacked = (
-                np.concatenate(dst_by_row[row])
-                if dst_by_row[row]
-                else np.empty(0, dtype=np.int64)
-            )
-            qr_rows.append(row_selector(stacked, n))
-        ar_blocks = spgemm_15d(
-            comm, grid, _make_q_blocks(qr_rows, n), a_blocks,
-            sparsity_aware=sparsity_aware, kernel=kernel,
-        )
-        for row in range(n_rows):
-            a_r = ar_blocks[row]
-            dsts = dst_by_row[row]
-            if not dsts:
-                continue
-            # Thread the selected kernel explicitly: col_extract would
-            # otherwise fall back to the sampler's own backend, losing a
-            # kernel= override on the product that dominates LADIES.
-            adjs = sampler.col_extract(
-                a_r, dsts, sampled_by_row[row],
-                spgemm_fn=get_kernel(kernel).spgemm,
-            )
-            # The per-batch column-extraction SpGEMMs are split across the
-            # process row's c replicas, then results are all-gathered
-            # (section 5.2.3) so every replica holds every batch.
-            bounds = np.cumsum([0] + [len(d) for d in dsts])
-            batch_ar_nnz = [
-                int(a_r.indptr[bounds[b + 1]] - a_r.indptr[bounds[b]])
-                for b in range(len(dsts))
-            ]
-            shares = assign_round_robin(len(adjs), grid.c)
-            for j, share in enumerate(shares):
-                # Each per-batch SpGEMM scans its A_R rows once, plus the
-                # n-row indptr of its hypersparse column selector (the
-                # section-8.2.2 memory traffic that dominates LADIES).
-                flops = sum(2.0 * batch_ar_nnz[b] for b in share)
-                comm.compute(
-                    grid.rank(row, j),
-                    flops=flops,
-                    nbytes=sum(
-                        24.0 * (batch_ar_nnz[b] + adjs[b].nnz) + 8.0 * n
-                        for b in share
-                    ),
-                    kernels=max(1, len(share)),
-                )
-            comm.allgather(
-                [[adjs[b] for b in shares[j]] for j in range(grid.c)],
-                grid.row_ranks(row),
-            )
-            for b, (adj, sampled, dst) in enumerate(
-                zip(adjs, sampled_by_row[row], dsts)
-            ):
-                layers_rev[row][b].append(LayerSample(adj, sampled, dst))
-
-
-# ---------------------------------------------------------------------- #
-# FastGCN: global importance distribution + LADIES-style extraction
-# ---------------------------------------------------------------------- #
-def _fastgcn_partitioned(
-    comm: Communicator,
-    grid: ProcessGrid,
-    sampler,  # FastGCNSampler; typed loosely to avoid an import cycle
-    a_blocks: BlockRows,
-    batches: Sequence[np.ndarray],
-    owners: list[list[int]],
-    fanout: Sequence[int],
-    rngs: list[np.random.Generator],
-    sparsity_aware: bool,
-    kernel=None,
-) -> list[list[MinibatchSample]]:
-    from ..sparse import vstack
-
-    n = a_blocks.n_cols
-    n_rows = grid.n_rows
-    # --- probability: the global importance vector q(v) ∝ ||A(:,v)||^2.
-    # Each block row contributes its local column squared sums; one
-    # all-reduce per process column combines them (every column holds all
-    # blocks, so p/c ranks participate).
-    with comm.phase("probability"):
-        local_sq = []
-        for row in range(n_rows):
-            blk = a_blocks.blocks[row]
-            sq = np.zeros(n, dtype=np.float64)
-            if blk.nnz:
-                np.add.at(sq, blk.indices, blk.data**2)
-            local_sq.append(sq)
-            _charge_row(comm, grid, row, flops=2.0 * blk.nnz, nbytes=16.0 * blk.nnz)
-        col_sq = None
-        for j in range(grid.c):
-            col_sq = comm.allreduce(local_sq, grid.col_ranks(j))
-        cols = np.flatnonzero(col_sq)
-        importance = CSRMatrix.from_coo(
-            np.zeros(cols.size, dtype=np.int64), cols, col_sq[cols], (1, n)
-        )
-        from ..sparse import row_normalize
-
-        importance = row_normalize(importance)
-
-    dst_by_row: list[list[np.ndarray]] = [
-        [np.asarray(batches[i], dtype=np.int64) for i in owners[row]]
-        for row in range(n_rows)
-    ]
-    layers_rev: list[list[list[LayerSample]]] = [
-        [[] for _ in owners[row]] for row in range(n_rows)
-    ]
-    for s in fanout:
-        sampled_by_row: list[list[np.ndarray]] = []
-        with comm.phase("sampling"):
-            for row in range(n_rows):
-                kb = len(dst_by_row[row])
-                if kb == 0:
-                    sampled_by_row.append([])
-                    continue
-                p = vstack([importance] * kb)
-                q_next = sampler.sample(p, s, rngs[row])
-                sampled = [q_next.row(i)[0] for i in range(kb)]
-                if sampler.include_dst:
-                    sampled = [
-                        np.union1d(sv, dv)
-                        for sv, dv in zip(sampled, dst_by_row[row])
-                    ]
-                sampled_by_row.append(sampled)
-                _charge_row(
-                    comm, grid, row,
-                    flops=sample_norm_flops(p, s),
-                    nbytes=24.0 * p.nnz,
-                    kernels=4,
-                )
-        _ladies_extraction_step(
-            comm, grid, sampler, a_blocks, dst_by_row, sampled_by_row,
-            layers_rev, sparsity_aware, kernel,
-        )
-        for row in range(n_rows):
-            if dst_by_row[row]:
-                dst_by_row[row] = sampled_by_row[row]
-
-    return [
-        [
-            MinibatchSample(
-                np.asarray(batches[owners[row][b]], dtype=np.int64),
-                list(reversed(layers_rev[row][b])),
-            )
-            for b in range(len(owners[row]))
-        ]
-        for row in range(n_rows)
-    ]
-
-
-# ---------------------------------------------------------------------- #
-# LADIES (and FastGCN-style layer-wise samplers)
-# ---------------------------------------------------------------------- #
-def _ladies_partitioned(
-    comm: Communicator,
-    grid: ProcessGrid,
-    sampler: LadiesSampler,
-    a_blocks: BlockRows,
-    batches: Sequence[np.ndarray],
-    owners: list[list[int]],
-    fanout: Sequence[int],
-    rngs: list[np.random.Generator],
-    sparsity_aware: bool,
-    kernel=None,
-) -> list[list[MinibatchSample]]:
-    n = a_blocks.n_cols
-    n_rows = grid.n_rows
-    dst_by_row: list[list[np.ndarray]] = [
-        [np.asarray(batches[i], dtype=np.int64) for i in owners[row]]
-        for row in range(n_rows)
-    ]
-    layers_rev: list[list[list[LayerSample]]] = [
-        [[] for _ in owners[row]] for row in range(n_rows)
-    ]
-
-    for s in fanout:
-        # --- probability: distributed P = Q A -------------------------- #
-        with comm.phase("probability"):
-            q_rows = []
-            for row in range(n_rows):
-                if dst_by_row[row]:
-                    q_rows.append(sampler.make_q(dst_by_row[row], n))
-                else:
-                    q_rows.append(CSRMatrix.zeros((0, n)))
-                _charge_row(
-                    comm, grid, row,
-                    nbytes=16.0 * sum(len(d) for d in dst_by_row[row]),
-                )
-            p_blocks = spgemm_15d(
-                comm, grid, _make_q_blocks(q_rows, n), a_blocks,
-                sparsity_aware=sparsity_aware,
-            )
-        # --- sampling: row-local NORM + SAMPLE ------------------------- #
-        sampled_by_row: list[list[np.ndarray]] = []
-        with comm.phase("sampling"):
-            for row in range(n_rows):
-                p = sampler.norm(p_blocks[row])
-                q_next = sampler.sample(p, s, rngs[row])
-                sampled = [q_next.row(i)[0] for i in range(p.shape[0])]
-                if sampler.include_dst:
-                    sampled = [
-                        np.union1d(sv, dv)
-                        for sv, dv in zip(sampled, dst_by_row[row])
-                    ]
-                sampled_by_row.append(sampled)
-                _charge_row(
-                    comm, grid, row,
-                    flops=sample_norm_flops(p, s),
-                    nbytes=24.0 * p.nnz,
-                    kernels=4,
-                )
-        # --- extraction: distributed row extract + split col extract --- #
-        _ladies_extraction_step(
-            comm, grid, sampler, a_blocks, dst_by_row, sampled_by_row,
-            layers_rev, sparsity_aware, kernel,
-        )
-        for row in range(n_rows):
-            if dst_by_row[row]:
-                dst_by_row[row] = sampled_by_row[row]
-
-    return [
-        [
-            MinibatchSample(
-                np.asarray(batches[owners[row][b]], dtype=np.int64),
-                list(reversed(layers_rev[row][b])),
-            )
-            for b in range(len(owners[row]))
-        ]
-        for row in range(n_rows)
-    ]
+    executor = PartitionedExecutor(
+        comm, grid, sampler, a_blocks, batches, seed,
+        sparsity_aware=sparsity_aware, kernel=kernel,
+    )
+    return executor.run(plan), executor.owners

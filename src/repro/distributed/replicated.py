@@ -16,6 +16,10 @@ import numpy as np
 
 from ..comm import Communicator
 from ..core import MatrixSampler, MinibatchSample, assign_round_robin
+
+# Shared ownership + RNG discipline (one stream per global batch index)
+# lives in repro.core.bulk; re-exported here for backward compatibility.
+from ..core.bulk import batch_rng
 from ..sparse import CSRMatrix
 from .instrument import RecordingSpGEMM, charge_sampling
 
@@ -27,17 +31,6 @@ def assign_batches(
 ) -> list[list[int]]:
     """Round-robin ownership of batch indices over ranks."""
     return assign_round_robin(n_batches, world_size)
-
-
-def batch_rng(seed: int, batch_index: int) -> np.random.Generator:
-    """The RNG stream of one minibatch, keyed by its *global* batch index.
-
-    Seeding by global batch index (not by rank) makes distributed sampling
-    output world-size invariant: batch ``i`` draws the same samples whether
-    8 ranks own 4 batches each or 1 rank owns all 32, because its draws
-    come from its own stream and its frontier evolution is batch-local.
-    """
-    return np.random.default_rng(np.random.SeedSequence([seed, batch_index]))
 
 
 def replicated_bulk_sampling(

@@ -192,10 +192,47 @@ class TestCapabilities:
         stats = TrainingPipeline(labeled_graph, cfg).train_epoch()
         assert stats.loss is not None and np.isfinite(stats.loss)
 
-    def test_saint_rejected_under_partitioned(self):
-        with pytest.raises(CapabilityError, match="partitioned"):
-            RunConfig(p=4, c=2, sampler="saint", algorithm="partitioned",
-                      fanout=(2, 2))
+    def test_saint_accepted_under_partitioned(self):
+        """SAINT emits a sampling plan, so partitioned support is derived —
+        the config layer must accept the combination."""
+        cfg = RunConfig(p=4, c=2, sampler="saint", algorithm="partitioned",
+                        fanout=(2, 2))
+        assert cfg.algorithm == "partitioned"
+
+    def test_registered_class_plugin_derives_partitioned(self, labeled_graph):
+        """A plugin registered as a class with an inherited plan gets the
+        partitioned algorithm for free — through capability gating AND an
+        actual epoch of training."""
+        from repro.api.registries import sampler_algorithms
+
+        class PluginSage(SageSampler):
+            name = "plugin-sage"
+
+        SAMPLERS.register(
+            "plugin-sage", PluginSage,
+            pipeline_kwargs={"include_dst": True}, default_conv="sage",
+        )
+        try:
+            assert "partitioned" in sampler_algorithms("plugin-sage")
+            cfg = RunConfig(
+                p=4, c=2, algorithm="partitioned", sampler="plugin-sage",
+                fanout=(4, 2), batch_size=32, hidden=16,
+            )
+            stats = TrainingPipeline(labeled_graph, cfg).train_epoch()
+            assert stats.loss is not None and np.isfinite(stats.loss)
+        finally:
+            SAMPLERS.unregister("plugin-sage")
+
+    def test_planless_factory_rejected_under_partitioned(self):
+        """A factory-registered sampler hides its product class, so without
+        explicit ``algorithms`` metadata partitioned is ruled out."""
+        SAMPLERS.register("opaque", lambda **kw: SageSampler(**kw))
+        try:
+            with pytest.raises(CapabilityError, match="partitioned"):
+                RunConfig(p=4, c=2, sampler="opaque",
+                          algorithm="partitioned", fanout=(3,))
+        finally:
+            SAMPLERS.unregister("opaque")
 
     def test_sampling_only_entry_rejected_by_pipeline(self, labeled_graph):
         SAMPLERS.register(

@@ -9,7 +9,9 @@ from repro.core import (
     LadiesSampler,
     SageSampler,
     assign_round_robin,
+    batch_rng,
     chunk_bulks,
+    reassemble_round_robin,
     split_stacked,
     stack_batches,
 )
@@ -37,6 +39,36 @@ class TestBookkeeping:
         assert max(sizes) - min(sizes) <= 1
         with pytest.raises(ValueError):
             assign_round_robin(4, 0)
+
+    def test_reassemble_inverts_assignment(self):
+        """The shared helper both distributed drivers use: ownership
+        round-trips for every (n_items, n_owners) shape."""
+        for n_items in (0, 1, 5, 10, 16):
+            for n_owners in (1, 2, 3, 4, 7):
+                owners = assign_round_robin(n_items, n_owners)
+                per_owner = [[f"item{i}" for i in idxs] for idxs in owners]
+                out = reassemble_round_robin(per_owner, n_items)
+                assert out == [f"item{i}" for i in range(n_items)]
+
+    def test_reassemble_validates_counts(self):
+        with pytest.raises(ValueError, match="3 items"):
+            reassemble_round_robin([[1, 2], [3]], 4)
+        with pytest.raises(ValueError):
+            reassemble_round_robin([], 2)
+
+    def test_reassemble_rejects_lopsided_owners(self):
+        # Right total, wrong shape: owner 1 cannot hold 3 of 4 items.
+        with pytest.raises(ValueError):
+            reassemble_round_robin([[1], [2, 3, 4]], 4)
+
+    def test_batch_rng_streams_are_independent_and_stable(self):
+        a = batch_rng(3, 5).integers(0, 1 << 30, 8)
+        b = batch_rng(3, 5).integers(0, 1 << 30, 8)
+        c = batch_rng(3, 6).integers(0, 1 << 30, 8)
+        d = batch_rng(4, 5).integers(0, 1 << 30, 8)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+        assert not np.array_equal(a, d)
 
     def test_stack_and_split(self):
         batches = [np.array([3, 1]), np.array([7]), np.array([2, 8, 4])]

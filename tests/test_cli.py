@@ -193,8 +193,17 @@ class TestCommands:
         assert code == 0
         assert "test accuracy" in capsys.readouterr().out
 
-    def test_train_without_dataset_errors(self, capsys):
-        assert main(["train", "--epochs", "1"]) == 2
+    def test_train_without_dataset_uses_default(self, capsys):
+        assert main(["train", "--epochs", "1", "--scale", "0.1",
+                     "--batch-size", "16", "--hidden", "16"]) == 0
+        assert "dataset products" in capsys.readouterr().out
+
+    def test_train_config_without_dataset_errors(self, capsys, tmp_path):
+        from repro.api import RunConfig
+
+        path = tmp_path / "run.json"
+        RunConfig(p=2, fanout=(5, 3)).to_json(path)
+        assert main(["train", "--config", str(path)]) == 2
         assert "no dataset" in capsys.readouterr().err
 
     def test_train_from_config_file(self, capsys, tmp_path):
