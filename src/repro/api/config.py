@@ -23,6 +23,7 @@ from pathlib import Path
 from typing import Any
 
 from ..config import DeviceModel, LinkModel, MachineConfig, PERLMUTTER_LIKE
+from ..gnn.activations import ACTIVATIONS
 from ..partition.cache import CACHE_POLICIES
 from ..sparse.kernels import KERNELS
 from .registries import (
@@ -86,6 +87,12 @@ class RunConfig:
     cache_budget: float = 0.0  # per-rank bytes for replicated hot rows; 0 = off
     cache_policy: str = "degree"  # repro.partition.CACHE_POLICIES key
     overlap: bool = False  # double-buffer sampling+fetch with training
+    # -- model --------------------------------------------------------- #
+    activation: str = "relu"  # inter-layer nonlinearity (repro.gnn.ACTIVATIONS)
+    # -- online serving (repro.serve) ----------------------------------- #
+    serve_batch_size: int = 8  # micro-batch size cap for the serving engine
+    serve_max_wait: float = 1e-3  # max simulated seconds a request queues
+    embed_budget: float = 0.0  # bytes for cached h^{L-1} rows; 0 = off
 
     def __post_init__(self) -> None:
         if isinstance(self.fanout, list):
@@ -145,6 +152,17 @@ class RunConfig:
             raise ValueError("train_split must be in (0, 1]")
         if self.epochs <= 0:
             raise ValueError("epochs must be positive")
+        if self.activation not in ACTIVATIONS:
+            raise ValueError(
+                f"unknown activation {self.activation!r}; known activations: "
+                f"{', '.join(ACTIVATIONS)}"
+            )
+        if self.serve_batch_size <= 0:
+            raise ValueError("serve_batch_size must be positive")
+        if self.serve_max_wait < 0:
+            raise ValueError("serve_max_wait must be non-negative seconds")
+        if self.embed_budget < 0:
+            raise ValueError("embed_budget must be non-negative bytes")
 
     # ------------------------------------------------------------------ #
     # Serialization

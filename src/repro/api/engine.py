@@ -177,3 +177,23 @@ class Engine:
         training per bulk).  After exhaustion, :attr:`epoch_stats` matches
         what ``train_epoch(epoch)`` would have returned."""
         return self.pipeline.stream_bulks(epoch)
+
+    # ------------------------------------------------------------------ #
+    # Online serving
+    # ------------------------------------------------------------------ #
+    def serving(self, *, fanout: Sequence[int] | None = None):
+        """Build a :class:`~repro.serve.ServingEngine` over this engine's
+        graph and (current) model weights.
+
+        ``fanout=None`` (default) serves exact full-neighborhood logits —
+        bit-identical to :func:`~repro.pipeline.layerwise_inference` — and
+        honors ``config.embed_budget``; an explicit per-layer fanout serves
+        approximate logits through the configured sampler.  Serving knobs
+        (``serve_batch_size``, ``serve_max_wait``, ``embed_budget``) come
+        from :attr:`config`.  The returned server snapshots nothing: it
+        reads the live model, so serve after training (or call
+        ``server.cache.clear()`` if weights change under a cache).
+        """
+        from ..serve import ServingEngine
+
+        return ServingEngine(self.model, self.graph, self.config, fanout=fanout)

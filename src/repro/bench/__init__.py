@@ -1,7 +1,14 @@
 """Benchmark harness: sim-scale workloads and ASCII figure reporting."""
 
 from .harness import SIM_WORKLOADS, BenchWorkload, load_bench_graph, run_pipeline_epoch
-from .reporting import format_series, format_stacked_bars, format_table
+from .reporting import (
+    format_latency_summary,
+    format_series,
+    format_stacked_bars,
+    format_table,
+    latency_summary,
+    percentiles,
+)
 
 __all__ = [
     "BenchWorkload",
@@ -11,4 +18,7 @@ __all__ = [
     "format_table",
     "format_stacked_bars",
     "format_series",
+    "percentiles",
+    "latency_summary",
+    "format_latency_summary",
 ]

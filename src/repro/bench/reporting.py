@@ -8,7 +8,16 @@ from __future__ import annotations
 
 from typing import Mapping, Sequence
 
-__all__ = ["format_table", "format_stacked_bars", "format_series"]
+import numpy as np
+
+__all__ = [
+    "format_table",
+    "format_stacked_bars",
+    "format_series",
+    "percentiles",
+    "latency_summary",
+    "format_latency_summary",
+]
 
 
 def format_table(
@@ -82,6 +91,57 @@ def format_series(
         for i, x in enumerate(x_values)
     ]
     return format_table(rows, title=title)
+
+
+def percentiles(
+    values: Sequence[float], qs: Sequence[float] = (50, 95, 99)
+) -> dict[float, float]:
+    """Nearest-rank percentiles of ``values``: ``{q: value}``.
+
+    Nearest-rank (the value at index ``ceil(q/100 * n) - 1`` of the sorted
+    sample) always returns an *observed* value, so latency reports quote
+    real request latencies and the result is exactly reproducible — no
+    interpolation between samples.
+    """
+    if len(values) == 0:
+        raise ValueError("percentiles need at least one value")
+    for q in qs:
+        if not 0 < q <= 100:
+            raise ValueError(f"percentile must be in (0, 100], got {q}")
+    ordered = np.sort(np.asarray(values, dtype=np.float64))
+    n = ordered.size
+    return {
+        q: float(ordered[min(n - 1, max(0, int(np.ceil(q / 100.0 * n)) - 1))])
+        for q in qs
+    }
+
+
+def latency_summary(values: Sequence[float]) -> dict[str, float]:
+    """The standard latency row: n, mean, p50/p95/p99 and max."""
+    if len(values) == 0:
+        raise ValueError("latency_summary needs at least one value")
+    arr = np.asarray(values, dtype=np.float64)
+    pct = percentiles(arr, (50, 95, 99))
+    return {
+        "n": int(arr.size),
+        "mean": float(arr.mean()),
+        "p50": pct[50],
+        "p95": pct[95],
+        "p99": pct[99],
+        "max": float(arr.max()),
+    }
+
+
+def format_latency_summary(
+    values: Sequence[float], *, label: str = "latency", unit: str = "s"
+) -> str:
+    """One-line p50/p95/p99 summary, e.g. for per-request serving latency."""
+    s = latency_summary(values)
+    return (
+        f"{label}: p50 {s['p50']:.5g}{unit}  p95 {s['p95']:.5g}{unit}  "
+        f"p99 {s['p99']:.5g}{unit}  mean {s['mean']:.5g}{unit}  "
+        f"max {s['max']:.5g}{unit}  (n={s['n']})"
+    )
 
 
 def _fmt(v: object) -> str:

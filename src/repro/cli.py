@@ -29,12 +29,14 @@ import numpy as np
 
 __all__ = ["main", "build_parser"]
 
-#: ``repro train`` flags that override the corresponding RunConfig field
-#: (None = not given, fall back to --config / defaults).
+#: ``repro train`` / ``repro serve`` flags that override the corresponding
+#: RunConfig field (None = not given, fall back to --config / defaults;
+#: flags a subcommand does not define are simply absent).
 _TRAIN_OVERRIDES = (
     "scale", "epochs", "p", "c", "algorithm", "sampler", "kernel",
     "batch_size", "seed", "hidden", "lr", "k", "train_split",
-    "cache_budget", "cache_policy", "overlap",
+    "cache_budget", "cache_policy", "overlap", "activation",
+    "serve_batch_size", "serve_max_wait", "embed_budget",
 )
 
 
@@ -56,6 +58,7 @@ def _user_error(exc: object) -> int:
 
 def build_parser() -> argparse.ArgumentParser:
     from repro.api import ALGORITHMS, DATASETS, KERNELS, SAMPLERS
+    from repro.gnn import ACTIVATIONS as activations
     from repro.partition import CACHE_POLICIES as cache_policies
 
     datasets = DATASETS.names()
@@ -129,6 +132,8 @@ def build_parser() -> argparse.ArgumentParser:
     trn.add_argument("--hidden", type=int, default=None, help="default 32")
     trn.add_argument("--lr", type=float, default=None, help="default 0.01")
     trn.add_argument("--seed", type=int, default=None, help="default 0")
+    trn.add_argument("--activation", default=None, choices=list(activations),
+                     help="inter-layer nonlinearity, default relu")
     trn.add_argument("--cache-budget", type=float, default=None,
                      dest="cache_budget", metavar="BYTES",
                      help="per-rank feature-cache budget in bytes; replicated "
@@ -141,6 +146,47 @@ def build_parser() -> argparse.ArgumentParser:
                      default=None,
                      help="double-buffer bulks: overlap sampling+fetch of "
                      "bulk k+1 with training on bulk k (simulated clock)")
+
+    srv = sub.add_parser(
+        "serve",
+        help="online inference serving over a request trace",
+        description="Trains a model (--epochs, default 1), then serves a "
+        "request trace through the micro-batching ServingEngine and "
+        "reports p50/p95/p99 latency, throughput and a deterministic "
+        "logits digest.  Without --requests, a synthetic trace of "
+        "--synthetic requests against the test split is generated.",
+    )
+    srv.add_argument("dataset", nargs="?", default=None, choices=datasets)
+    srv.add_argument("--config", default=None, metavar="FILE.json",
+                     help="RunConfig JSON (repro.api.RunConfig.to_json)")
+    srv.add_argument("--requests", default=None, metavar="TRACE.json",
+                     help="JSON request trace: a list of "
+                     '{"arrival": seconds, "vertices": [ids]} objects')
+    srv.add_argument("--synthetic", type=int, default=32, metavar="N",
+                     help="synthetic trace size when --requests is absent")
+    srv.add_argument("--scale", type=float, default=None, help="default 0.25")
+    srv.add_argument("--epochs", type=int, default=None,
+                     help="training epochs before serving, default 1")
+    srv.add_argument("--sampler", default=None, choices=samplers)
+    srv.add_argument("--kernel", default=None, choices=kernels)
+    srv.add_argument("--fanout", default=None, metavar="N,N,...",
+                     help="model fanout during training; serving itself "
+                     "always uses exact full neighborhoods")
+    srv.add_argument("--batch-size", type=int, default=None, help="default 32")
+    srv.add_argument("--hidden", type=int, default=None, help="default 32")
+    srv.add_argument("--seed", type=int, default=None, help="default 0")
+    srv.add_argument("--activation", default=None, choices=list(activations),
+                     help="inter-layer nonlinearity, default relu")
+    srv.add_argument("--serve-batch-size", type=int, default=None,
+                     dest="serve_batch_size",
+                     help="micro-batch size cap, default 8 (1 = per-request)")
+    srv.add_argument("--serve-max-wait", type=float, default=None,
+                     dest="serve_max_wait", metavar="SECONDS",
+                     help="max simulated queueing delay, default 1e-3")
+    srv.add_argument("--embed-budget", type=float, default=None,
+                     dest="embed_budget", metavar="BYTES",
+                     help="embedding-cache budget for hot penultimate-layer "
+                     "rows (default 0 = off)")
 
     swp = sub.add_parser("sweep", help="figure-4-style GPU-count sweep")
     swp.add_argument("dataset", choices=datasets)
@@ -227,9 +273,9 @@ def _resolve_train_config(args):
     from repro.api import RunConfig, SAMPLERS
 
     overrides = {
-        name: getattr(args, name)
+        name: getattr(args, name, None)
         for name in _TRAIN_OVERRIDES
-        if getattr(args, name) is not None
+        if getattr(args, name, None) is not None
     }
     if args.dataset is not None:
         overrides["dataset"] = args.dataset
@@ -271,8 +317,10 @@ def _cmd_train(args) -> int:
         engine.pipeline  # resolve registries/capabilities before training
     except (ValueError, KeyError, FileNotFoundError) as exc:
         return _user_error(exc)
+    epoch_times = []
     for epoch in range(cfg.epochs):
         stats = engine.train_epoch(epoch)
+        epoch_times.append(stats.epoch_seconds)
         loss_txt = (
             f"loss {stats.loss:.4f}" if stats.loss is not None else "loss n/a"
         )
@@ -285,7 +333,60 @@ def _cmd_train(args) -> int:
         if stats.fetch_hit_rate is not None:
             line += f" cache hit-rate {stats.fetch_hit_rate:.2%}"
         print(line)
+    if len(epoch_times) > 1:
+        from repro.bench.reporting import format_latency_summary
+
+        print(format_latency_summary(epoch_times, label="sim-time summary"))
     print(f"test accuracy: {engine.evaluate('test'):.3f}")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.api import Engine
+    from repro.bench.reporting import format_latency_summary
+    from repro.serve import TraceWorkload, load_trace
+
+    try:
+        cfg = _resolve_train_config(args)
+        if cfg.dataset is None:
+            raise ValueError(
+                "no dataset given (positional argument or --config)"
+            )
+        if args.epochs is None and args.config is None:
+            cfg = cfg.replace(epochs=1)
+        engine = Engine(cfg)
+        print(f"dataset {cfg.dataset} (scale {cfg.scale}): sampler "
+              f"{cfg.sampler}, serve_batch_size={cfg.serve_batch_size}, "
+              f"serve_max_wait={cfg.serve_max_wait}, "
+              f"embed_budget={cfg.embed_budget:.0f}")
+        engine.train(cfg.epochs)
+        server = engine.serving()
+        if args.requests is not None:
+            workload = load_trace(args.requests)
+        else:
+            pool = engine.graph.test_idx
+            if pool.size == 0:
+                pool = np.arange(engine.graph.n, dtype=np.int64)
+            workload = TraceWorkload.synthetic(
+                args.synthetic, pool, seed=cfg.seed, interarrival=1e-4
+            )
+        # Serving validates request vertices against the graph lazily, so
+        # a malformed trace surfaces here — still a user error, not a bug.
+        report = server.process(workload)
+    except (ValueError, KeyError, FileNotFoundError) as exc:
+        return _user_error(exc)
+    print(f"served {report.n_requests} requests in {report.batches} "
+          f"micro-batches (mean {report.mean_batch_size:.2f} req/batch)")
+    print(format_latency_summary(report.latencies, label="latency"))
+    line = f"throughput: {report.throughput:.0f} req/s (simulated)"
+    if report.cache_stats is not None:
+        line += f"  embed-cache hit-rate: {report.cache_stats.hit_rate:.2%}"
+    print(line)
+    phases = "  ".join(
+        f"{ph} {s:.6f}s" for ph, s in sorted(report.phase_seconds.items())
+    )
+    print(f"service breakdown: {phases}")
+    print(f"logits digest: {report.digest()}")
     return 0
 
 
@@ -349,6 +450,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_sample(args)
         if args.command == "train":
             return _cmd_train(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
         if args.command == "sweep":
             return _cmd_sweep(args)
     except BrokenPipeError:  # e.g. `repro train ... | head`

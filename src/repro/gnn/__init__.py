@@ -1,7 +1,15 @@
 """Neural-network substrate: layers, losses, optimizers and GNN models with
 explicit numpy forward/backward passes (stand-in for PyTorch/PyG)."""
 
-from .activations import Dropout, ReLU
+from .activations import (
+    ACTIVATIONS,
+    Dropout,
+    Identity,
+    LeakyReLU,
+    ReLU,
+    Tanh,
+    make_activation,
+)
 from .attention import GATConv
 from .checkpoint import load_model_into, save_model
 from .layers import GCNConv, Linear, SAGEConv, glorot
@@ -11,7 +19,12 @@ from .model import GNNModel, full_graph_sample, propagation_flops
 from .optim import SGD, Adam
 
 __all__ = [
+    "ACTIVATIONS",
     "ReLU",
+    "LeakyReLU",
+    "Tanh",
+    "Identity",
+    "make_activation",
     "Dropout",
     "Linear",
     "SAGEConv",

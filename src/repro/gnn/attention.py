@@ -21,7 +21,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.frontier import LayerSample
-from .layers import _ConvBase, glorot
+from .layers import _ConvBase, glorot, stable_matmul
 
 __all__ = ["GATConv"]
 
@@ -88,6 +88,36 @@ class GATConv(_ConvBase):
         out = np.zeros((layer.n_dst, z.shape[1]))
         np.add.at(out, rows, alpha[:, None] * z[cols])
         self._cache = (layer, h_src, z, rows, cols, raw, alpha, dst_pos)
+        return out + self.params["b"]
+
+    def infer(self, layer: LayerSample, h_src: np.ndarray) -> np.ndarray:
+        """Stateless, row-stable forward (see :func:`~repro.gnn.layers.stable_matmul`).
+
+        The segmented softmax and the edge scatter already accumulate in
+        CSR edge order per destination row, so only the dense transforms
+        need the einsum route for grouping-independent bits.
+        """
+        if h_src.shape[0] != layer.n_src:
+            raise ValueError(
+                f"h_src has {h_src.shape[0]} rows for {layer.n_src} sources"
+            )
+        adj = layer.adj
+        dst_pos = self._dst_positions(layer)
+        if dst_pos is None:
+            raise ValueError(
+                "GATConv needs destinations inside the source frontier "
+                "(sample with include_dst=True)"
+            )
+        z = stable_matmul(h_src, self.params["W"])
+        s_src = np.einsum("ij,j->i", z, self.params["a_src"], optimize=False)
+        s_dst = np.einsum("ij,j->i", z, self.params["a_dst"], optimize=False)
+        rows = _row_ids(adj.indptr)
+        cols = adj.indices
+        raw = s_dst[dst_pos][rows] + s_src[cols]
+        leaky = np.where(raw > 0, raw, _LEAK * raw)
+        alpha = _segment_softmax(leaky, adj.indptr)
+        out = np.zeros((layer.n_dst, z.shape[1]))
+        np.add.at(out, rows, alpha[:, None] * z[cols])
         return out + self.params["b"]
 
     def backward(self, dy: np.ndarray) -> np.ndarray:

@@ -13,13 +13,27 @@ import numpy as np
 from ..core.frontier import LayerSample
 from ..sparse import CSRMatrix, row_normalize, spmm
 
-__all__ = ["Linear", "SAGEConv", "GCNConv", "glorot"]
+__all__ = ["Linear", "SAGEConv", "GCNConv", "glorot", "stable_matmul"]
 
 
 def glorot(shape: tuple[int, int], rng: np.random.Generator) -> np.ndarray:
     """Glorot/Xavier uniform initialization."""
     limit = np.sqrt(6.0 / sum(shape))
     return rng.uniform(-limit, limit, size=shape)
+
+
+def stable_matmul(x: np.ndarray, w: np.ndarray) -> np.ndarray:
+    """``x @ w`` with row-count-independent bit patterns.
+
+    BLAS GEMM picks its blocking (and therefore its rounding) from the row
+    count ``m``, so ``(x @ w)[rows]`` and ``x[rows] @ w`` can differ in the
+    last bits.  Inference paths that must produce identical logits no
+    matter how vertices are grouped into batches (layer-wise inference,
+    online serving with micro-batching and embedding caches) route their
+    dense transforms through this einsum, whose per-row accumulation order
+    depends only on the inner dimension.  Training keeps plain ``@``.
+    """
+    return np.einsum("ij,jk->ik", x, w, optimize=False)
 
 
 class Linear:
@@ -130,6 +144,19 @@ class SAGEConv(_ConvBase):
             np.add.at(dh_src, dst_pos, dy @ self.params["W_self"].T)
         return dh_src
 
+    def infer(self, layer: LayerSample, h_src: np.ndarray) -> np.ndarray:
+        """Stateless, row-stable forward (see :func:`stable_matmul`)."""
+        if h_src.shape[0] != layer.n_src:
+            raise ValueError(
+                f"h_src has {h_src.shape[0]} rows for {layer.n_src} sources"
+            )
+        neigh = spmm(self._mean_adj(layer), h_src)
+        out = stable_matmul(neigh, self.params["W_neigh"]) + self.params["b"]
+        dst_pos = self._dst_positions(layer)
+        if dst_pos is not None:
+            out = out + stable_matmul(h_src[dst_pos], self.params["W_self"])
+        return out
+
 
 class GCNConv(_ConvBase):
     """GCN-style convolution: ``h_dst' = norm(A) h_src W + b``.
@@ -165,3 +192,12 @@ class GCNConv(_ConvBase):
         self.grads["W"] += agg.T @ dy
         self.grads["b"] += dy.sum(axis=0)
         return spmm(adj.transpose(), dy @ self.params["W"].T)
+
+    def infer(self, layer: LayerSample, h_src: np.ndarray) -> np.ndarray:
+        """Stateless, row-stable forward (see :func:`stable_matmul`)."""
+        if h_src.shape[0] != layer.n_src:
+            raise ValueError(
+                f"h_src has {h_src.shape[0]} rows for {layer.n_src} sources"
+            )
+        agg = spmm(self._mean_adj(layer), h_src)
+        return stable_matmul(agg, self.params["W"]) + self.params["b"]

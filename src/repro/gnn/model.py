@@ -12,7 +12,7 @@ import numpy as np
 
 from ..core.frontier import LayerSample, MinibatchSample
 from ..sparse import CSRMatrix
-from .activations import ReLU
+from .activations import make_activation
 from .attention import GATConv
 from .layers import GCNConv, SAGEConv
 
@@ -27,6 +27,9 @@ class GNNModel:
     ``conv="gcn"`` builds GCNConv layers (aggregation only, suitable for
     layer-wise LADIES/FastGCN samples); ``conv="gat"`` builds single-head
     graph-attention layers (needs destinations in the frontier).
+    ``activation`` names the inter-layer nonlinearity
+    (:data:`repro.gnn.ACTIVATIONS`); inference paths read the configured
+    instances from :attr:`acts` instead of assuming ReLU.
     """
 
     def __init__(
@@ -38,6 +41,7 @@ class GNNModel:
         rng: np.random.Generator,
         *,
         conv: str = "sage",
+        activation: str = "relu",
     ) -> None:
         if n_layers <= 0:
             raise ValueError("need at least one layer")
@@ -48,7 +52,7 @@ class GNNModel:
         self.convs = [
             conv_cls(dims[i], dims[i + 1], rng) for i in range(n_layers)
         ]
-        self.acts = [ReLU() for _ in range(n_layers - 1)]
+        self.acts = [make_activation(activation) for _ in range(n_layers - 1)]
         self.n_layers = n_layers
 
     # -------------------------------------------------------------- #

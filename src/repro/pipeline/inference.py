@@ -8,9 +8,17 @@ row batches, so peak memory is one layer's activations plus one batch's
 working set.
 
 This module implements that schedule on top of the same
-:class:`~repro.gnn.model.GNNModel` used for training, and is exact: it
-matches the single-shot full-graph forward to floating-point accuracy
-(tested).
+:class:`~repro.gnn.model.GNNModel` used for training.  Two exactness
+properties are load-bearing (and tested):
+
+* it applies the model's *configured* inter-layer activation
+  (``model.acts``) rather than assuming ReLU, so tanh/leaky-relu/identity
+  models get exact full-graph inference too;
+* it runs through the convolutions' row-stable ``infer`` path
+  (:func:`~repro.gnn.layers.stable_matmul`), so the output is bit-identical
+  for every ``batch_size`` — which is what lets the online serving engine
+  (:mod:`repro.serve`) promise logits bit-identical to this function no
+  matter how requests are micro-batched.
 """
 
 from __future__ import annotations
@@ -49,8 +57,10 @@ def layerwise_inference(
             stop = min(n, start + batch_size)
             block = graph.adj.row_block(start, stop)
             layer = LayerSample(block, ids, ids[start:stop])
-            outputs.append(conv.forward(layer, h))
+            outputs.append(conv.infer(layer, h))
         h = np.vstack(outputs)
         if layer_idx < model.n_layers - 1:
-            h = np.where(h > 0, h, 0.0)  # ReLU between layers
+            # The model's configured activation, via the stateless apply()
+            # so a training step's cached backward masks stay untouched.
+            h = model.acts[layer_idx].apply(h)
     return h

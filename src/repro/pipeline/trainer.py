@@ -109,6 +109,7 @@ class TrainingPipeline:
             len(config.fanout),
             np.random.default_rng(config.seed + 1),
             conv=config.resolved_conv(),
+            activation=config.activation,
         )
         self.optimizer = Adam(lr=config.lr)
         self._dims = (

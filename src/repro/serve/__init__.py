@@ -1,0 +1,41 @@
+"""repro.serve — online GNN inference serving with micro-batched sampling.
+
+The serving subsystem reuses the training stack end to end: the sampling-
+plan IR compiles each micro-batch of concurrent requests into one bulk
+sampling program, the trained :class:`~repro.gnn.GNNModel` produces the
+logits through its row-stable ``infer`` kernels, and the simulated clock /
+roofline cost model make every latency number exactly reproducible.
+
+Quickstart::
+
+    from repro.api import Engine, RunConfig
+    from repro.serve import ClosedLoopWorkload
+
+    engine = Engine(RunConfig(dataset="products", scale=0.25, epochs=1))
+    engine.train()
+    server = engine.serving()           # exact full-neighborhood serving
+    report = server.process(
+        ClosedLoopWorkload(64, engine.graph.test_idx, clients=8)
+    )
+    print(report.latency_summary(), report.throughput)
+"""
+
+from .cache import EmbeddingCache, ServeStats
+from .engine import ServeReport, ServingEngine
+from .request import InferenceRequest, InferenceResult, MicroBatcher, RequestQueue
+from .workload import ClosedLoopWorkload, TraceWorkload, load_trace, save_trace
+
+__all__ = [
+    "InferenceRequest",
+    "InferenceResult",
+    "RequestQueue",
+    "MicroBatcher",
+    "EmbeddingCache",
+    "ServeStats",
+    "ServingEngine",
+    "ServeReport",
+    "TraceWorkload",
+    "ClosedLoopWorkload",
+    "load_trace",
+    "save_trace",
+]

@@ -1,0 +1,138 @@
+"""Budgeted memoization of penultimate-layer representations.
+
+The most expensive part of serving a request for vertex ``v`` is computing
+the layer ``L-1`` representations of ``v``'s in-neighbors — each of which
+needs its own ``(L-1)``-hop ego network.  Those representations depend only
+on the (frozen) model weights and each vertex's own neighborhood, so they
+are perfect memoization targets: the :class:`EmbeddingCache` keeps exact
+copies of ``h^{L-1}`` rows for hot vertices under a per-server byte budget,
+the same budget discipline as
+:class:`~repro.partition.cache.CachedFeatureStore` applies to feature rows.
+
+Because cached rows are exact copies of deterministically recomputable
+values, serving logits are bit-identical with the cache on or off — the
+budget is purely a latency/throughput lever (tested, and asserted by
+``benchmarks/bench_serving.py``).
+
+Admission is frequency-ranked like the feature cache's ``lfu`` policy:
+every lookup counts, and when the cache is over budget the top
+``capacity_rows`` vertices by ``(count, lower id wins ties)`` are retained.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ServeStats", "EmbeddingCache"]
+
+
+@dataclass
+class ServeStats:
+    """Hit/miss counters of one :class:`EmbeddingCache`.
+
+    ``requests`` counts requested embedding rows (one per frontier vertex
+    per micro-batch); ``inserts``/``evictions`` track cache churn.
+    """
+
+    requests: int = 0
+    hits: int = 0
+    misses: int = 0
+    inserts: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of requested rows served from the cache."""
+        return self.hits / self.requests if self.requests else 0.0
+
+    def reset(self) -> None:
+        self.requests = 0
+        self.hits = 0
+        self.misses = 0
+        self.inserts = 0
+        self.evictions = 0
+
+
+class EmbeddingCache:
+    """An exact, byte-budgeted cache of ``h^{L-1}`` rows.
+
+    ``budget_bytes`` buys ``budget_bytes // (8 * row_dim)`` rows (fp64, the
+    representation width the numpy model computes in).  ``n`` is the vertex
+    count, used for the frequency counters.
+    """
+
+    def __init__(self, n: int, row_dim: int, *, budget_bytes: float) -> None:
+        if n <= 0 or row_dim <= 0:
+            raise ValueError("n and row_dim must be positive")
+        if budget_bytes < 0:
+            raise ValueError("embedding budget must be non-negative bytes")
+        self.n = n
+        self.row_dim = row_dim
+        self.row_bytes = 8 * row_dim
+        self.capacity_rows = min(n, int(budget_bytes // self.row_bytes))
+        self.stats = ServeStats()
+        self._counts = np.zeros(n, dtype=np.int64)
+        self._cached = np.zeros(n, dtype=bool)
+        self._rows: dict[int, np.ndarray] = {}
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    @property
+    def cached_ids(self) -> np.ndarray:
+        """Sorted vertex ids currently cached."""
+        return np.sort(np.fromiter(self._rows, dtype=np.int64, count=len(self._rows)))
+
+    def lookup(self, ids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Split ``ids`` into (hit mask, gathered hit rows).
+
+        Counts every id toward the frequency ranking; the returned rows
+        align with ``ids[mask]`` and are exact copies of the inserted rows.
+        """
+        ids = np.asarray(ids, dtype=np.int64)
+        np.add.at(self._counts, ids, 1)
+        mask = self._cached[ids]
+        n_hits = int(mask.sum())
+        rows = (
+            np.stack([self._rows[int(v)] for v in ids[mask]])
+            if n_hits
+            else np.empty((0, self.row_dim))
+        )
+        self.stats.requests += ids.size
+        self.stats.hits += n_hits
+        self.stats.misses += ids.size - n_hits
+        return mask, rows
+
+    def insert(self, ids: np.ndarray, rows: np.ndarray) -> None:
+        """Offer freshly computed rows; the budget keeps the hottest.
+
+        The retained set after an insert is the top ``capacity_rows``
+        vertices of ``cached + offered`` ranked by observed request count
+        (ties to the lower vertex id), mirroring the feature cache's LFU
+        refresh — deterministic for a deterministic request stream.
+        """
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.size != rows.shape[0]:
+            raise ValueError("need exactly one row per id")
+        if self.capacity_rows == 0 or ids.size == 0:
+            return
+        for v, row in zip(ids, rows):
+            self._rows[int(v)] = row.copy()
+            self.stats.inserts += 1
+        self._cached[ids] = True
+        overflow = len(self._rows) - self.capacity_rows
+        if overflow > 0:
+            cached = self.cached_ids
+            order = np.lexsort((cached, -self._counts[cached]))
+            for v in cached[order][self.capacity_rows :]:
+                del self._rows[int(v)]
+                self._cached[v] = False
+                self.stats.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every cached row (required after any weight update)."""
+        self._rows.clear()
+        self._cached[:] = False
+        self._counts[:] = 0

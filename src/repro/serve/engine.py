@@ -1,0 +1,385 @@
+"""The online serving engine: micro-batched ego-network inference.
+
+:class:`ServingEngine` turns the repo's *offline* bulk-sampling machinery
+into an online service.  Concurrent :class:`~repro.serve.request.InferenceRequest`\\ s
+are coalesced by the :class:`~repro.serve.request.MicroBatcher` into one
+micro-batch, the micro-batch's (deduplicated) target vertices are compiled
+through the existing sampling-plan IR (:mod:`repro.core.plan`, interpreted
+by the same :class:`~repro.core.plan.LocalExecutor` training uses), and the
+:class:`~repro.gnn.GNNModel` produces one logits row per target.  That is
+the paper's bulk-amortization argument replayed at serving time: one
+micro-batch costs one plan's worth of kernel launches no matter how many
+requests share it.
+
+Two serving modes:
+
+* **exact** (default, ``fanout=None``) — every hop keeps the *full*
+  neighborhood (a node-wise plan whose SAMPLE count is the graph's max
+  in-degree), so the served logits are **bit-identical** to
+  :func:`~repro.pipeline.layerwise_inference` for the same vertices.  Both
+  paths run the convolutions' row-stable ``infer`` kernels, which is what
+  makes the equality exact rather than approximate.  In this mode the
+  :class:`~repro.serve.cache.EmbeddingCache` can memoize penultimate-layer
+  rows for hot vertices (``embed_budget``) without changing a single bit.
+* **sampled** (an explicit ``fanout``) — compiles micro-batches through
+  the engine's *configured* sampler at that fanout: approximate logits,
+  lower latency, any registered sampler/kernel backend.  The embedding
+  cache stays off (sampled representations are not memoizable values).
+
+All time is simulated: service time comes from the machine's roofline
+:class:`~repro.comm.cost_model.CostModel` and accumulates on a
+:class:`~repro.comm.clock.SimClock` under ``sampling`` / ``propagation`` /
+``embedding_cache`` phases, so admission, batching and p50/p95/p99 latency
+are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..comm.clock import SimClock
+from ..comm.cost_model import CostModel, payload_nbytes
+from ..core.sage_sampler import SageSampler
+from ..gnn.model import GNNModel
+from ..graphs import Graph
+from .cache import EmbeddingCache, ServeStats
+from .request import InferenceRequest, InferenceResult, MicroBatcher, RequestQueue
+
+__all__ = ["ServingEngine", "ServeReport"]
+
+
+@dataclass
+class ServeReport:
+    """Everything one :meth:`ServingEngine.process` run produced."""
+
+    results: list[InferenceResult]
+    batches: int
+    phase_seconds: dict[str, float]
+    cache_stats: ServeStats | None = None
+    exact: bool = True
+
+    @property
+    def n_requests(self) -> int:
+        return len(self.results)
+
+    @property
+    def latencies(self) -> np.ndarray:
+        """Per-request end-to-end latency, in request-id order."""
+        return np.array([r.latency for r in self.results])
+
+    @property
+    def makespan(self) -> float:
+        """Completion time of the last request."""
+        return max((r.completed for r in self.results), default=0.0)
+
+    @property
+    def throughput(self) -> float:
+        """Requests served per simulated second."""
+        span = self.makespan
+        return self.n_requests / span if span > 0 else 0.0
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.n_requests / self.batches if self.batches else 0.0
+
+    def latency_summary(self) -> dict[str, float]:
+        """n / mean / p50 / p95 / p99 / max of the request latencies."""
+        from ..bench.reporting import latency_summary
+
+        return latency_summary(self.latencies)
+
+    def digest(self) -> str:
+        """SHA-256 over (rid, vertices, logits) of every result.
+
+        Bit-exact serving makes this digest stable across runs, batch
+        sizes, wait policies and cache budgets — the CI smoke job pins it
+        per run pair rather than per platform.
+        """
+        h = hashlib.sha256()
+        for r in sorted(self.results, key=lambda r: r.request.rid):
+            h.update(np.int64(r.request.rid).tobytes())
+            h.update(np.ascontiguousarray(r.request.vertices).tobytes())
+            h.update(np.ascontiguousarray(r.logits).tobytes())
+        return h.hexdigest()
+
+    def row(self) -> dict[str, object]:
+        """One reporting row for :func:`repro.bench.format_table`."""
+        s = self.latency_summary()
+        out: dict[str, object] = {
+            "requests": self.n_requests,
+            "batches": self.batches,
+            "mean_batch": round(self.mean_batch_size, 3),
+            "p50_ms": s["p50"] * 1e3,
+            "p95_ms": s["p95"] * 1e3,
+            "p99_ms": s["p99"] * 1e3,
+            "req_per_s": self.throughput,
+        }
+        if self.cache_stats is not None:
+            out["embed_hit"] = f"{self.cache_stats.hit_rate:.1%}"
+        return out
+
+
+def _conv_in_dim(conv) -> int:
+    for key in ("W", "W_neigh"):
+        if key in conv.params:
+            return conv.params[key].shape[0]
+    raise TypeError(f"cannot infer input width of {type(conv).__name__}")
+
+
+def _conv_out_dim(conv) -> int:
+    for key in ("W", "W_neigh"):
+        if key in conv.params:
+            return conv.params[key].shape[1]
+    raise TypeError(f"cannot infer output width of {type(conv).__name__}")
+
+
+class ServingEngine:
+    """Serve logits for target vertices with micro-batched bulk sampling.
+
+    ``config`` supplies the serving knobs (``serve_batch_size``,
+    ``serve_max_wait``, ``embed_budget``), the kernel backend, the machine
+    model and the seed.  ``fanout=None`` selects the exact full-neighborhood
+    mode; a tuple of per-layer counts selects sampled serving through the
+    configured sampler (its length must match the model depth).
+    """
+
+    def __init__(
+        self,
+        model: GNNModel,
+        graph: Graph,
+        config,
+        *,
+        fanout: Sequence[int] | None = None,
+    ) -> None:
+        if graph.features is None:
+            raise ValueError("serving needs node features")
+        self.model = model
+        self.graph = graph
+        self.config = config
+        self.clock = SimClock(1)
+        self.cost = CostModel(config.machine)
+        self.exact = fanout is None
+        n_layers = model.n_layers
+        self._dims = [_conv_in_dim(c) for c in model.convs] + [
+            _conv_out_dim(model.convs[-1])
+        ]
+        if self.exact:
+            full = max(1, int(graph.adj.nnz_per_row().max()))
+            self.fanout = (full,) * n_layers
+            # Exactness needs the node-wise full-expansion plan: every dst
+            # keeps its whole neighborhood and joins its own frontier.
+            self.sampler = SageSampler(include_dst=True, kernel=config.kernel)
+        else:
+            fanout = tuple(int(s) for s in fanout)
+            if len(fanout) != n_layers:
+                raise ValueError(
+                    f"serving fanout {fanout} has {len(fanout)} entries for "
+                    f"a {n_layers}-layer model"
+                )
+            self.fanout = fanout
+            from ..api.registries import make_sampler
+
+            self.sampler = make_sampler(
+                config.sampler, graph=graph, for_training=True,
+                kernel=config.kernel,
+            )
+        self.cache: EmbeddingCache | None = None
+        if self.exact and n_layers > 1 and config.embed_budget > 0:
+            self.cache = EmbeddingCache(
+                graph.n, self._dims[-2], budget_bytes=config.embed_budget
+            )
+        self.batcher = MicroBatcher(config.serve_batch_size, config.serve_max_wait)
+
+    # ------------------------------------------------------------------ #
+    # Cost accounting helpers
+    # ------------------------------------------------------------------ #
+    def _charge_sampling(self, layers) -> None:
+        """One plan execution: fixed kernel launches + size-scaled work.
+
+        The kernel count comes from the emitted plan (4 steps per layer for
+        the node-wise program), *not* from the number of coalesced requests
+        — that independence is the micro-batching amortization.
+        """
+        program = self.sampler.plan(tuple(self.fanout[: len(layers)]))
+        kernels = len(program.steps) if program is not None else 4 * len(layers)
+        edges = sum(layer.adj.nnz for layer in layers)
+        nbytes = 2.0 * payload_nbytes([layer.adj for layer in layers])
+        self.clock.advance(
+            0, self.cost.compute(flops=6.0 * edges, nbytes=nbytes, kernels=kernels),
+            "compute",
+        )
+
+    def _charge_forward(self, layers, dims) -> None:
+        """Forward pass roofline: SpMM + dense transform per layer."""
+        flops = 0.0
+        nbytes = 0.0
+        for layer, f_in, f_out in zip(layers, dims[:-1], dims[1:]):
+            flops += 2.0 * layer.adj.nnz * f_in
+            flops += 2.0 * layer.n_dst * f_in * f_out
+            nbytes += 8.0 * (layer.n_src * f_in + layer.n_dst * f_out)
+        self.clock.advance(
+            0,
+            self.cost.compute(flops=flops, nbytes=nbytes, kernels=2 * len(layers)),
+            "compute",
+        )
+
+    # ------------------------------------------------------------------ #
+    # The forward computation
+    # ------------------------------------------------------------------ #
+    def _infer_chain(self, layers, h: np.ndarray, first_conv: int) -> np.ndarray:
+        """Run ``layers`` through convs[first_conv:...] with activations."""
+        model = self.model
+        for offset, layer in enumerate(layers):
+            i = first_conv + offset
+            h = model.convs[i].infer(layer, h)
+            if i < model.n_layers - 1:
+                h = model.acts[i].apply(h)
+        return h
+
+    def _logits_for(self, targets: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Logits rows for (sorted, unique) ``targets``, with cost charging."""
+        model, graph = self.model, self.graph
+        n_layers = model.n_layers
+        if self.cache is None:
+            with self.clock.phase("sampling"):
+                sample = self.sampler.sample_bulk(
+                    graph.adj, [targets], self.fanout, rng
+                )[0]
+                self._charge_sampling(sample.layers)
+            with self.clock.phase("propagation"):
+                h = graph.features[sample.input_frontier]
+                logits = self._infer_chain(sample.layers, h, 0)
+                self._charge_forward(sample.layers, self._dims)
+            return logits
+        # Cached path: the final hop is sampled for the whole frontier, but
+        # the deep (L-1)-layer expansion only runs for cache *misses*.
+        with self.clock.phase("sampling"):
+            outer = self.sampler.sample_bulk(
+                graph.adj, [targets], self.fanout[-1:], rng
+            )[0]
+            self._charge_sampling(outer.layers)
+        layer_last = outer.layers[0]
+        frontier = layer_last.src_ids
+        with self.clock.phase("embedding_cache"):
+            mask, hit_rows = self.cache.lookup(frontier)
+            n_hits = int(mask.sum())
+            if n_hits:
+                self.clock.advance(
+                    0,
+                    self.cost.compute(
+                        nbytes=2.0 * self.cache.row_bytes * n_hits, kernels=1
+                    ),
+                    "compute",
+                )
+        h_frontier = np.empty((frontier.size, self._dims[-2]))
+        misses = frontier[~mask]
+        if misses.size:
+            with self.clock.phase("sampling"):
+                inner = self.sampler.sample_bulk(
+                    graph.adj, [misses], self.fanout[: n_layers - 1], rng
+                )[0]
+                self._charge_sampling(inner.layers)
+            with self.clock.phase("propagation"):
+                h = graph.features[inner.input_frontier]
+                h_miss = self._infer_chain(inner.layers, h, 0)
+                self._charge_forward(inner.layers, self._dims[:-1])
+            h_frontier[~mask] = h_miss
+            self.cache.insert(misses, h_miss)
+        if n_hits:
+            h_frontier[mask] = hit_rows
+        with self.clock.phase("propagation"):
+            logits = model.convs[-1].infer(layer_last, h_frontier)
+            self._charge_forward([layer_last], self._dims[-2:])
+        return logits
+
+    # ------------------------------------------------------------------ #
+    # Serving entry points
+    # ------------------------------------------------------------------ #
+    def serve(self, vertices: np.ndarray) -> np.ndarray:
+        """One-shot serving (no queueing): logits aligned with ``vertices``."""
+        vertices = np.asarray(vertices, dtype=np.int64)
+        targets = np.unique(vertices)
+        rng = np.random.default_rng(
+            np.random.SeedSequence([self.config.seed, 401])
+        )
+        logits = self._logits_for(targets, rng)
+        return logits[np.searchsorted(targets, vertices)]
+
+    def _serve_batch(
+        self,
+        batch: list[InferenceRequest],
+        dispatched: float,
+        batch_index: int,
+    ) -> list[InferenceResult]:
+        """Serve one micro-batch; returns one result per member request."""
+        targets = np.unique(np.concatenate([r.vertices for r in batch]))
+        rng = np.random.default_rng(
+            np.random.SeedSequence([self.config.seed, 401, batch_index])
+        )
+        before = self.clock.time(0)
+        logits = self._logits_for(targets, rng)
+        service = self.clock.time(0) - before
+        completed = dispatched + service
+        return [
+            InferenceResult(
+                request=req,
+                logits=logits[np.searchsorted(targets, req.vertices)],
+                dispatched=dispatched,
+                completed=completed,
+                batch_index=batch_index,
+                batch_size=len(batch),
+            )
+            for req in batch
+        ]
+
+    def process(self, workload) -> ServeReport:
+        """Run a workload to exhaustion under the micro-batching policy.
+
+        ``workload`` provides ``initial() -> [requests]`` and
+        ``on_complete(result) -> [requests]`` (see :mod:`repro.serve.workload`).
+        Deterministic: dispatch times depend only on simulated arrivals,
+        the policy, and simulated service times.
+
+        Each call reports only its own run: the phase clock and the cache's
+        hit/miss counters reset on entry (cached rows and LFU frequencies
+        persist across calls, like the feature cache across epochs).
+        """
+        self.clock.reset()
+        if self.cache is not None:
+            self.cache.stats.reset()
+        queue = RequestQueue()
+        for req in workload.initial():
+            queue.push(req)
+        results: list[InferenceResult] = []
+        free = 0.0
+        batch_index = 0
+        while True:
+            dispatch = self.batcher.next_dispatch(queue, free)
+            if dispatch is None:
+                break
+            t, batch = dispatch
+            batch_results = self._serve_batch(batch, t, batch_index)
+            free = batch_results[0].completed
+            results.extend(batch_results)
+            for result in batch_results:
+                for req in workload.on_complete(result):
+                    queue.push(req)
+            batch_index += 1
+        results.sort(key=lambda r: r.request.rid)
+        return ServeReport(
+            results=results,
+            batches=batch_index,
+            phase_seconds=self.clock.breakdown(),
+            # Snapshot, so a later process() reset can't mutate this report.
+            cache_stats=(
+                dataclasses.replace(self.cache.stats)
+                if self.cache is not None
+                else None
+            ),
+            exact=self.exact,
+        )

@@ -7,9 +7,12 @@ import pytest
 
 from repro.bench import (
     SIM_WORKLOADS,
+    format_latency_summary,
     format_series,
     format_stacked_bars,
     format_table,
+    latency_summary,
+    percentiles,
 )
 from repro.bench.harness import BenchWorkload, work_scale_for, workload_hidden
 from repro.config import ArchitectureConfig, DeviceModel, LinkModel
@@ -30,6 +33,55 @@ class TestFormatTable:
     def test_float_formatting(self):
         out = format_table([{"x": 0.123456789}])
         assert "0.12346" in out
+
+
+class TestPercentiles:
+    def test_nearest_rank_returns_observed_values(self):
+        values = [5.0, 1.0, 3.0, 2.0, 4.0]
+        pct = percentiles(values, (50, 95, 99))
+        # Nearest rank over n=5: p50 -> 3rd value, p95/p99 -> 5th.
+        assert pct[50] == 3.0
+        assert pct[95] == 5.0
+        assert pct[99] == 5.0
+
+    def test_single_value(self):
+        assert percentiles([7.5], (50, 99)) == {50: 7.5, 99: 7.5}
+
+    def test_unsorted_input(self):
+        assert percentiles([9.0, 1.0], (50,))[50] == 1.0
+
+    def test_large_sample_matches_rank_definition(self):
+        values = np.arange(1, 101, dtype=float)  # 1..100
+        pct = percentiles(values, (50, 95, 99, 100))
+        assert pct[50] == 50.0
+        assert pct[95] == 95.0
+        assert pct[99] == 99.0
+        assert pct[100] == 100.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            percentiles([])
+        with pytest.raises(ValueError):
+            percentiles([1.0], (0,))
+        with pytest.raises(ValueError):
+            percentiles([1.0], (101,))
+
+    def test_latency_summary_fields(self):
+        s = latency_summary([2.0, 1.0, 4.0, 3.0])
+        assert s["n"] == 4
+        assert s["mean"] == pytest.approx(2.5)
+        assert s["p50"] == 2.0
+        assert s["max"] == 4.0
+        assert s["p50"] <= s["p95"] <= s["p99"] <= s["max"]
+
+    def test_latency_summary_empty_rejected(self):
+        with pytest.raises(ValueError):
+            latency_summary([])
+
+    def test_format_latency_summary_line(self):
+        line = format_latency_summary([1.0, 2.0, 3.0], label="lat", unit="ms")
+        assert line.startswith("lat: p50 2ms")
+        assert "p95 3ms" in line and "(n=3)" in line
 
 
 class TestStackedBars:

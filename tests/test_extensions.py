@@ -183,6 +183,72 @@ class TestLayerwiseInference:
         with pytest.raises(ValueError):
             layerwise_inference(model, labeled_graph, batch_size=0)
 
+    def test_batch_size_larger_than_n(self, labeled_graph, rng):
+        """One batch covering the whole graph: a single row block."""
+        model = GNNModel(
+            labeled_graph.n_features, 8, labeled_graph.n_classes, 2, rng
+        )
+        whole = layerwise_inference(
+            model, labeled_graph, batch_size=labeled_graph.n + 1
+        )
+        full = model.forward(
+            full_graph_sample(labeled_graph.adj, 2), labeled_graph.features
+        )
+        assert whole.shape == (labeled_graph.n, labeled_graph.n_classes)
+        assert np.allclose(full, whole)
+
+    def test_batch_size_one(self, rng):
+        """Degenerate one-row batches still reproduce the default output
+        bit-for-bit (the row-stable infer path is grouping-independent)."""
+        small = load_dataset(
+            "products", scale=0.05, seed=1, with_labels=True, n_classes=4
+        )
+        model = GNNModel(small.n_features, 8, small.n_classes, 2, rng)
+        one = layerwise_inference(model, small, batch_size=1)
+        default = layerwise_inference(model, small, batch_size=4096)
+        assert np.array_equal(one, default)
+
+    def test_gat_model_parity(self, labeled_graph, rng):
+        """Attention models go through the same schedule exactly."""
+        model = GNNModel(
+            labeled_graph.n_features, 8, labeled_graph.n_classes, 2, rng,
+            conv="gat",
+        )
+        full = model.forward(
+            full_graph_sample(labeled_graph.adj, 2), labeled_graph.features
+        )
+        fast = layerwise_inference(model, labeled_graph, batch_size=97)
+        assert np.allclose(full, fast)
+        assert np.array_equal(
+            fast, layerwise_inference(model, labeled_graph, batch_size=513)
+        )
+
+    @pytest.mark.parametrize("activation", ["tanh", "leaky_relu", "identity"])
+    def test_non_relu_activation_is_exact(self, labeled_graph, rng, activation):
+        """The configured activation is applied between layers — non-ReLU
+        models match their own single-shot forward (the historical code
+        hard-coded ReLU here)."""
+        model = GNNModel(
+            labeled_graph.n_features, 8, labeled_graph.n_classes, 3, rng,
+            activation=activation,
+        )
+        full = model.forward(
+            full_graph_sample(labeled_graph.adj, 3), labeled_graph.features
+        )
+        fast = layerwise_inference(model, labeled_graph, batch_size=64)
+        assert np.allclose(full, fast)
+
+    def test_bit_stable_across_batch_sizes(self, labeled_graph, rng):
+        model = GNNModel(
+            labeled_graph.n_features, 8, labeled_graph.n_classes, 2, rng
+        )
+        outs = [
+            layerwise_inference(model, labeled_graph, batch_size=bs)
+            for bs in (37, 512, 10**6)
+        ]
+        assert np.array_equal(outs[0], outs[1])
+        assert np.array_equal(outs[1], outs[2])
+
 
 class TestGraphIO:
     def test_roundtrip(self, tmp_path, labeled_graph):
