@@ -145,6 +145,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--batch-size", type=int, default=512)
     parser.add_argument("--fanout", type=int, default=256)
     parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="artifact path (default benchmarks/results/"
+                        "BENCH_kernels.json); 'none' disables")
     args = parser.parse_args(argv)
 
     rng = np.random.default_rng(0)
@@ -188,6 +191,36 @@ def main(argv: list[str] | None = None) -> int:
     for name, tb, tk in rows:
         print(f"{name:<{width}}  {tb * 1e3:8.2f}ms  {tk * 1e3:8.2f}ms  "
               f"{tb / tk:6.2f}x")
+    if args.json != "none":
+        from repro.bench import write_bench_artifact
+
+        path = write_bench_artifact(
+            "kernels",
+            params={
+                "kernel": args.kernel, "baseline": args.baseline,
+                "log_n": args.log_n, "degree": args.degree,
+                "batches": args.batches, "batch_size": args.batch_size,
+                "fanout": args.fanout, "repeats": args.repeats,
+                "vertices": n, "edges": adj.nnz,
+            },
+            # Wall-clock, so these are host-dependent trajectory points —
+            # the speedup ratios are the comparable metric across hosts.
+            metrics={
+                f"speedup_{name.split(' ')[0]}": tb / tk
+                for name, tb, tk in rows
+            },
+            rows=[
+                {
+                    "workload": name,
+                    f"{args.baseline}_ms": tb * 1e3,
+                    f"{args.kernel}_ms": tk * 1e3,
+                    "speedup": tb / tk,
+                }
+                for name, tb, tk in rows
+            ],
+            path=args.json,
+        )
+        print(f"wrote {path}")
     return 0
 
 

@@ -32,6 +32,7 @@ import sys
 import numpy as np
 
 from repro.api import Engine, RunConfig
+from repro.bench import write_bench_artifact
 from repro.bench.reporting import format_table
 from repro.pipeline import layerwise_inference
 from repro.serve import ClosedLoopWorkload, ServingEngine
@@ -74,6 +75,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--smoke", action="store_true",
                         help="tiny sweep for CI (fewer points and requests)")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="artifact path (default benchmarks/results/"
+                        "BENCH_serving.json); 'none' disables")
     args = parser.parse_args(argv)
 
     if args.smoke:
@@ -156,6 +160,29 @@ def main(argv: list[str] | None = None) -> int:
     print("ok: micro-batching beats per-request serving, logits "
           "bit-identical to layerwise inference (cache on or off), "
           "digests deterministic")
+    if args.json != "none":
+        client_counts = [int(x) for x in args.clients.split(",")]
+        peak = max(client_counts)
+        path = write_bench_artifact(
+            "serving",
+            params={
+                "dataset": args.dataset, "scale": args.scale,
+                "fanout": args.fanout, "hidden": args.hidden,
+                "epochs": args.epochs, "clients": client_counts,
+                "requests": args.requests,
+                "embed_budget": args.embed_budget, "seed": args.seed,
+                "smoke": bool(args.smoke),
+            },
+            metrics={
+                "peak_req_per_s_microbatch": throughput[(peak, 8)],
+                "peak_req_per_s_per_request": throughput[(peak, 1)],
+                "microbatch_speedup": throughput[(peak, 8)]
+                / throughput[(peak, 1)],
+            },
+            rows=rows,
+            path=args.json,
+        )
+        print(f"wrote {path}")
     return 0
 
 

@@ -93,6 +93,9 @@ class RunConfig:
     serve_batch_size: int = 8  # micro-batch size cap for the serving engine
     serve_max_wait: float = 1e-3  # max simulated seconds a request queues
     embed_budget: float = 0.0  # bytes for cached h^{L-1} rows; 0 = off
+    # -- streaming graphs (repro.stream) -------------------------------- #
+    stream_updates: bool = False  # serve over a DeltaCSR accepting edge churn
+    compaction_threshold: float = 0.25  # delta-log fraction of nnz that compacts
 
     def __post_init__(self) -> None:
         if isinstance(self.fanout, list):
@@ -163,6 +166,12 @@ class RunConfig:
             raise ValueError("serve_max_wait must be non-negative seconds")
         if self.embed_budget < 0:
             raise ValueError("embed_budget must be non-negative bytes")
+        if self.compaction_threshold <= 0:
+            raise ValueError(
+                "compaction_threshold must be positive (the delta-log size, "
+                "as a fraction of the base nnz, at which the streaming "
+                "overlay compacts into a fresh CSR)"
+            )
 
     # ------------------------------------------------------------------ #
     # Serialization

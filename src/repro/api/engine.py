@@ -181,7 +181,12 @@ class Engine:
     # ------------------------------------------------------------------ #
     # Online serving
     # ------------------------------------------------------------------ #
-    def serving(self, *, fanout: Sequence[int] | None = None):
+    def serving(
+        self,
+        *,
+        fanout: Sequence[int] | None = None,
+        stream: bool | None = None,
+    ):
         """Build a :class:`~repro.serve.ServingEngine` over this engine's
         graph and (current) model weights.
 
@@ -193,7 +198,29 @@ class Engine:
         from :attr:`config`.  The returned server snapshots nothing: it
         reads the live model, so serve after training (or call
         ``server.cache.clear()`` if weights change under a cache).
+
+        ``stream`` (default ``config.stream_updates``) wraps the graph in
+        a :class:`~repro.stream.StreamingGraph` so the server accepts
+        :class:`~repro.stream.UpdateStream` workloads — edge churn applied
+        between micro-batches, delta-log compaction at
+        ``config.compaction_threshold``, and dirty-vertex invalidation of
+        the embedding cache.  Note the StreamingGraph mutates this
+        engine's ``graph.adj`` in place as updates land (serving tracks
+        the *current* graph by design).
         """
         from ..serve import ServingEngine
 
-        return ServingEngine(self.model, self.graph, self.config, fanout=fanout)
+        if stream is None:
+            stream = self.config.stream_updates
+        streaming_graph = None
+        if stream:
+            from ..stream import StreamingGraph
+
+            streaming_graph = StreamingGraph(
+                self.graph,
+                compaction_threshold=self.config.compaction_threshold,
+            )
+        return ServingEngine(
+            self.model, self.graph, self.config, fanout=fanout,
+            stream=streaming_graph,
+        )

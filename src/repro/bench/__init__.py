@@ -1,5 +1,13 @@
-"""Benchmark harness: sim-scale workloads and ASCII figure reporting."""
+"""Benchmark harness: sim-scale workloads, ASCII figure reporting, and the
+schema-versioned ``BENCH_<name>.json`` perf-trajectory artifacts."""
 
+from .artifact import (
+    BENCH_SCHEMA_VERSION,
+    bench_artifact,
+    default_artifact_path,
+    load_bench_artifact,
+    write_bench_artifact,
+)
 from .harness import SIM_WORKLOADS, BenchWorkload, load_bench_graph, run_pipeline_epoch
 from .reporting import (
     format_latency_summary,
@@ -21,4 +29,9 @@ __all__ = [
     "percentiles",
     "latency_summary",
     "format_latency_summary",
+    "BENCH_SCHEMA_VERSION",
+    "bench_artifact",
+    "default_artifact_path",
+    "load_bench_artifact",
+    "write_bench_artifact",
 ]

@@ -37,6 +37,7 @@ _TRAIN_OVERRIDES = (
     "batch_size", "seed", "hidden", "lr", "k", "train_split",
     "cache_budget", "cache_policy", "overlap", "activation",
     "serve_batch_size", "serve_max_wait", "embed_budget",
+    "compaction_threshold",
 )
 
 
@@ -186,6 +187,62 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--embed-budget", type=float, default=None,
                      dest="embed_budget", metavar="BYTES",
                      help="embedding-cache budget for hot penultimate-layer "
+                     "rows (default 0 = off)")
+
+    stm = sub.add_parser(
+        "stream",
+        help="serving under live edge churn (delta-CSR + invalidation)",
+        description="Trains a model (--epochs, default 1), then serves a "
+        "synthetic request trace interleaved with edge insert/delete "
+        "batches through the streaming ServingEngine: updates land in a "
+        "delta-CSR overlay, compact at --compaction-threshold (parity "
+        "with a from-scratch rebuild asserted), and invalidate the dirty "
+        "vertices' cached embeddings.  Reports latency, update/compaction "
+        "counts, a deterministic logits digest, and (with --verify) "
+        "asserts post-churn logits are bit-identical to layer-wise "
+        "inference on a from-scratch rebuild of the final graph.",
+    )
+    stm.add_argument("dataset", nargs="?", default=None, choices=datasets)
+    stm.add_argument("--config", default=None, metavar="FILE.json",
+                     help="RunConfig JSON (repro.api.RunConfig.to_json)")
+    stm.add_argument("--requests", type=int, default=48, metavar="N",
+                     help="synthetic request count, default 48")
+    stm.add_argument("--update-ratio", type=float, default=0.25,
+                     dest="update_ratio", metavar="R",
+                     help="edge-update batches per request, default 0.25")
+    stm.add_argument("--edges-per-update", type=int, default=8,
+                     dest="edges_per_update", metavar="E",
+                     help="edges per update batch, default 8")
+    stm.add_argument("--delete-fraction", type=float, default=0.5,
+                     dest="delete_fraction", metavar="F",
+                     help="fraction of update batches that delete, default 0.5")
+    stm.add_argument("--compaction-threshold", type=float, default=None,
+                     dest="compaction_threshold", metavar="FRAC",
+                     help="delta-log fraction of nnz that compacts, "
+                     "default 0.25")
+    stm.add_argument("--verify", action="store_true",
+                     help="assert post-churn parity with a from-scratch "
+                     "rebuild of the final graph")
+    stm.add_argument("--scale", type=float, default=None, help="default 0.25")
+    stm.add_argument("--epochs", type=int, default=None,
+                     help="training epochs before serving, default 1")
+    stm.add_argument("--sampler", default=None, choices=samplers)
+    stm.add_argument("--kernel", default=None, choices=kernels)
+    stm.add_argument("--fanout", default=None, metavar="N,N,...",
+                     help="model fanout during training; streaming serving "
+                     "always uses exact full neighborhoods")
+    stm.add_argument("--batch-size", type=int, default=None, help="default 32")
+    stm.add_argument("--hidden", type=int, default=None, help="default 32")
+    stm.add_argument("--seed", type=int, default=None, help="default 0")
+    stm.add_argument("--serve-batch-size", type=int, default=None,
+                     dest="serve_batch_size",
+                     help="micro-batch size cap, default 8 (1 = per-request)")
+    stm.add_argument("--serve-max-wait", type=float, default=None,
+                     dest="serve_max_wait", metavar="SECONDS",
+                     help="max simulated queueing delay, default 1e-3")
+    stm.add_argument("--embed-budget", type=float, default=None,
+                     dest="embed_budget", metavar="BYTES",
+                     help="embedding-cache budget; updates invalidate dirty "
                      "rows (default 0 = off)")
 
     swp = sub.add_parser("sweep", help="figure-4-style GPU-count sweep")
@@ -390,6 +447,73 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_stream(args) -> int:
+    from repro.api import Engine
+    from repro.bench.reporting import format_latency_summary
+    from repro.stream import UpdateStream
+
+    try:
+        cfg = _resolve_train_config(args).replace(stream_updates=True)
+        if cfg.dataset is None:
+            raise ValueError(
+                "no dataset given (positional argument or --config)"
+            )
+        if args.epochs is None and args.config is None:
+            cfg = cfg.replace(epochs=1)
+        engine = Engine(cfg)
+        print(f"dataset {cfg.dataset} (scale {cfg.scale}): sampler "
+              f"{cfg.sampler}, serve_batch_size={cfg.serve_batch_size}, "
+              f"embed_budget={cfg.embed_budget:.0f}, "
+              f"compaction_threshold={cfg.compaction_threshold}")
+        engine.train(cfg.epochs)
+        server = engine.serving()
+        pool = engine.graph.test_idx
+        if pool.size == 0:
+            pool = np.arange(engine.graph.n, dtype=np.int64)
+        workload = UpdateStream.synthetic(
+            engine.graph.adj, pool, n_requests=args.requests,
+            update_ratio=args.update_ratio,
+            edges_per_update=args.edges_per_update,
+            delete_fraction=args.delete_fraction, seed=cfg.seed,
+            interarrival=1e-4,
+        )
+        report = server.process(workload)
+    except (ValueError, KeyError, FileNotFoundError) as exc:
+        return _user_error(exc)
+    if report.update_stats is not None:
+        print(f"served {report.n_requests} requests in {report.batches} "
+              f"micro-batches under {report.update_stats.batches} update "
+              f"batches ({report.update_stats.applied} edge edits, "
+              f"{report.update_stats.compactions} compactions)")
+    else:
+        print(f"served {report.n_requests} requests in {report.batches} "
+              f"micro-batches (no edge updates)")
+    print(format_latency_summary(report.latencies, label="latency"))
+    line = f"throughput: {report.throughput:.0f} req/s (simulated)"
+    if report.cache_stats is not None:
+        line += (f"  embed-cache hit-rate: {report.cache_stats.hit_rate:.2%}"
+                 f" ({report.cache_stats.invalidations} invalidations)")
+    print(line)
+    phases = "  ".join(
+        f"{ph} {s:.6f}s" for ph, s in sorted(report.phase_seconds.items())
+    )
+    print(f"service breakdown: {phases}")
+    print(f"logits digest: {report.digest()}")
+    if args.verify:
+        from repro.pipeline import layerwise_inference
+
+        rebuilt = server.stream.rebuild_from_scratch()
+        reference = layerwise_inference(engine.model, rebuilt)
+        verts = pool[: min(64, pool.size)]
+        if not np.array_equal(server.serve(verts), reference[verts]):
+            print("error: post-churn logits differ from a from-scratch "
+                  "rebuild of the final graph", file=sys.stderr)
+            return 1
+        print("verified: post-churn logits bit-identical to from-scratch "
+              "rebuild")
+    return 0
+
+
 def _cmd_sweep(args) -> int:
     from repro.bench import SIM_WORKLOADS, format_table, load_bench_graph
     from repro.bench.harness import run_pipeline_epoch
@@ -452,6 +576,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_train(args)
         if args.command == "serve":
             return _cmd_serve(args)
+        if args.command == "stream":
+            return _cmd_stream(args)
         if args.command == "sweep":
             return _cmd_sweep(args)
     except BrokenPipeError:  # e.g. `repro train ... | head`

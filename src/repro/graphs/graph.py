@@ -31,6 +31,16 @@ class Graph:
     def __post_init__(self) -> None:
         if self.adj.shape[0] != self.adj.shape[1]:
             raise ValueError(f"adjacency must be square, got {self.adj.shape}")
+        try:
+            self.adj.check()
+        except ValueError as exc:
+            raise ValueError(
+                f"graph {self.name!r} adjacency is not canonical CSR: {exc}. "
+                f"Samplers and the delta-CSR overlay rely on sorted, "
+                f"duplicate-free column indices per row; build the matrix "
+                f"through CSRMatrix.from_coo (which sorts and merges "
+                f"duplicates) instead of assembling indptr/indices by hand"
+            ) from exc
         if self.features is not None and self.features.shape[0] != self.n:
             raise ValueError("one feature row per vertex required")
         if self.labels is not None and self.labels.shape[0] != self.n:

@@ -62,6 +62,9 @@ class CacheStats:
     cache avoided / still paid.  Rows owned by the requesting rank's own
     process row never cross the wire (the all-to-allv excludes self-sends),
     so they count toward ``hits``/``misses`` but toward neither byte total.
+    ``invalidations`` counts replicated rows dropped through
+    :meth:`CachedFeatureStore.invalidate` — update churn, kept separate
+    from the capacity-driven turnover :meth:`refresh` performs.
     """
 
     requests: int = 0
@@ -69,6 +72,7 @@ class CacheStats:
     misses: int = 0
     hit_bytes: float = 0.0
     miss_bytes: float = 0.0
+    invalidations: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -81,6 +85,7 @@ class CacheStats:
         self.misses = 0
         self.hit_bytes = 0.0
         self.miss_bytes = 0.0
+        self.invalidations = 0
 
 
 class CachedFeatureStore:
@@ -206,6 +211,31 @@ class CachedFeatureStore:
             if span > 0:
                 ranking = ranking + self._scores / (2.0 * span)
         self._install(self._top_rows(ranking), comm)
+
+    def invalidate(self, ids: np.ndarray) -> int:
+        """Drop replicated rows for ``ids``; returns how many were resident.
+
+        The hook graph/feature updates call: a vertex whose stored feature
+        row changed (or that left the graph) must not be served from the
+        replica until re-admitted by a later :meth:`refresh`.  A local
+        drop: no replication traffic is charged, and the freed slots stay
+        empty until the next refresh re-ranks the cache.  Counted in
+        ``stats.invalidations``; LFU access counts are kept.
+        """
+        ids = np.unique(np.asarray(ids, dtype=np.int64))
+        if ids.size and (ids[0] < 0 or ids[-1] >= self.store.n):
+            raise IndexError(f"vertex id out of range [0, {self.store.n})")
+        resident = ids[self._cached[ids]]
+        if resident.size:
+            keep = self.cached_ids
+            keep = keep[~self._cached_member(keep, resident)]
+            self._install(keep)
+        self.stats.invalidations += int(resident.size)
+        return int(resident.size)
+
+    @staticmethod
+    def _cached_member(ids: np.ndarray, drop: np.ndarray) -> np.ndarray:
+        return np.isin(ids, drop, assume_unique=True)
 
     # ------------------------------------------------------------------ #
     # The cache-aware fetch

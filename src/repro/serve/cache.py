@@ -33,7 +33,10 @@ class ServeStats:
     """Hit/miss counters of one :class:`EmbeddingCache`.
 
     ``requests`` counts requested embedding rows (one per frontier vertex
-    per micro-batch); ``inserts``/``evictions`` track cache churn.
+    per micro-batch); ``inserts``/``evictions`` track capacity churn, and
+    ``invalidations`` counts rows dropped through :meth:`EmbeddingCache.invalidate`
+    (graph updates dirtying cached values) — deliberately separate from
+    ``evictions`` so budget pressure and update churn are distinguishable.
     """
 
     requests: int = 0
@@ -41,6 +44,7 @@ class ServeStats:
     misses: int = 0
     inserts: int = 0
     evictions: int = 0
+    invalidations: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -53,6 +57,7 @@ class ServeStats:
         self.misses = 0
         self.inserts = 0
         self.evictions = 0
+        self.invalidations = 0
 
 
 class EmbeddingCache:
@@ -130,6 +135,25 @@ class EmbeddingCache:
                 del self._rows[int(v)]
                 self._cached[v] = False
                 self.stats.evictions += 1
+
+    def invalidate(self, ids: np.ndarray) -> int:
+        """Drop cached rows for ``ids``; returns how many were resident.
+
+        The protocol hook graph updates call: a dirty vertex's ``h^{L-1}``
+        row is stale the moment any row in its receptive field changes, so
+        it must be recomputed on next request rather than served.  Counted
+        in ``stats.invalidations`` (not ``evictions``); frequency counters
+        are kept, so a hot vertex re-enters the cache on its next miss.
+        """
+        ids = np.unique(np.asarray(ids, dtype=np.int64))
+        if ids.size and (ids[0] < 0 or ids[-1] >= self.n):
+            raise IndexError(f"vertex id out of range [0, {self.n})")
+        resident = ids[self._cached[ids]]
+        for v in resident:
+            del self._rows[int(v)]
+        self._cached[resident] = False
+        self.stats.invalidations += int(resident.size)
+        return int(resident.size)
 
     def clear(self) -> None:
         """Drop every cached row (required after any weight update)."""

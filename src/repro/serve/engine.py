@@ -31,6 +31,16 @@ All time is simulated: service time comes from the machine's roofline
 :class:`~repro.comm.clock.SimClock` under ``sampling`` / ``propagation`` /
 ``embedding_cache`` phases, so admission, batching and p50/p95/p99 latency
 are exactly reproducible.
+
+**Streaming graphs.**  Built over a
+:class:`~repro.stream.StreamingGraph`, the engine also consumes workloads
+that interleave :class:`~repro.stream.EdgeBatch` mutations with requests
+(:class:`~repro.stream.UpdateStream`).  An update due before the next
+micro-batch's dispatch is applied first — delta-log merge, threshold
+compaction and the dirty-vertex invalidation of the embedding cache all
+charge the same clock under a ``graph_update`` phase — so every request is
+served on the graph as of its dispatch time and logits stay bit-identical
+to layer-wise inference on the *current* adjacency.
 """
 
 from __future__ import annotations
@@ -62,6 +72,9 @@ class ServeReport:
     phase_seconds: dict[str, float]
     cache_stats: ServeStats | None = None
     exact: bool = True
+    # Streaming runs only: snapshot of the StreamingGraph's counters
+    # (update batches, applied/skipped edits, compactions, dirty vertices).
+    update_stats: object | None = None
 
     @property
     def n_requests(self) -> int:
@@ -121,6 +134,10 @@ class ServeReport:
         }
         if self.cache_stats is not None:
             out["embed_hit"] = f"{self.cache_stats.hit_rate:.1%}"
+            if self.cache_stats.invalidations:
+                out["invalidated"] = self.cache_stats.invalidations
+        if self.update_stats is not None:
+            out.update(self.update_stats.row())
         return out
 
 
@@ -155,11 +172,15 @@ class ServingEngine:
         config,
         *,
         fanout: Sequence[int] | None = None,
+        stream=None,
     ) -> None:
+        if stream is not None:
+            graph = stream.graph
         if graph.features is None:
             raise ValueError("serving needs node features")
         self.model = model
         self.graph = graph
+        self.stream = stream
         self.config = config
         self.clock = SimClock(1)
         self.cost = CostModel(config.machine)
@@ -169,8 +190,7 @@ class ServingEngine:
             _conv_out_dim(model.convs[-1])
         ]
         if self.exact:
-            full = max(1, int(graph.adj.nnz_per_row().max()))
-            self.fanout = (full,) * n_layers
+            self.fanout = self._full_fanout()
             # Exactness needs the node-wise full-expansion plan: every dst
             # keeps its whole neighborhood and joins its own frontier.
             self.sampler = SageSampler(include_dst=True, kernel=config.kernel)
@@ -194,6 +214,81 @@ class ServingEngine:
                 graph.n, self._dims[-2], budget_bytes=config.embed_budget
             )
         self.batcher = MicroBatcher(config.serve_batch_size, config.serve_max_wait)
+
+    def _full_fanout(self) -> tuple[int, ...]:
+        """The per-layer count that keeps every neighborhood whole.
+
+        Recomputed after each graph update: an insertion can raise the max
+        in-degree, and exactness requires the SAMPLE cap to stay above it.
+        """
+        full = max(1, int(self.graph.adj.nnz_per_row().max()))
+        return (full,) * self.model.n_layers
+
+    # ------------------------------------------------------------------ #
+    # Graph updates (streaming serving)
+    # ------------------------------------------------------------------ #
+    def apply_update(self, batch) -> float:
+        """Apply one :class:`~repro.stream.EdgeBatch`; returns sim seconds.
+
+        Runs the full protocol: absorb the batch into the delta log (and
+        maybe compact), refresh the exact-mode fanout, and invalidate every
+        cached embedding row the change can reach (``dirty_closure`` at
+        depth ``L - 2`` on the post-update adjacency).  All of it is
+        charged to the clock under the ``graph_update`` phase.
+        """
+        if self.stream is None:
+            raise ValueError(
+                "this engine serves a frozen graph; build it over a "
+                "StreamingGraph (Engine.serving with stream_updates=True) "
+                "to apply edge updates"
+            )
+        from ..stream.graph import dirty_closure
+
+        before = self.clock.time(0)
+        with self.clock.phase("graph_update"):
+            result = self.stream.apply(batch)
+            cost = result.sim_cost
+            # Log absorb + dirty-row re-merge: hash/searchsorted per edge,
+            # then a splice that rewrites the merged rows (16B/entry, r+w).
+            self.clock.advance(
+                0,
+                self.cost.compute(
+                    flops=64.0 * cost.get("batch_edges", 0.0),
+                    nbytes=24.0 * cost.get("batch_edges", 0.0)
+                    + 32.0 * cost.get("merged_nnz", 0.0),
+                    kernels=2,
+                ),
+                "compute",
+            )
+            if result.compacted:
+                # Compaction re-canonicalizes the full matrix: a global
+                # sort (n log n flops) plus one read+write of every entry.
+                nnz = cost.get("compacted_nnz", 0.0)
+                self.clock.advance(
+                    0,
+                    self.cost.compute(
+                        flops=8.0 * nnz * max(1.0, np.log2(max(nnz, 2.0))),
+                        nbytes=32.0 * nnz,
+                        kernels=4,
+                    ),
+                    "compute",
+                )
+            if self.exact:
+                self.fanout = self._full_fanout()
+            if self.cache is not None and result.dirty_rows.size:
+                stale = dirty_closure(
+                    self.graph.adj, result.dirty_rows, self.model.n_layers - 2
+                )
+                dropped = self.cache.invalidate(stale)
+                if dropped:
+                    self.clock.advance(
+                        0,
+                        self.cost.compute(
+                            nbytes=self.cache.row_bytes * dropped, kernels=1
+                        ),
+                        "compute",
+                    )
+        return self.clock.time(0) - before
 
     # ------------------------------------------------------------------ #
     # Cost accounting helpers
@@ -342,8 +437,13 @@ class ServingEngine:
 
         ``workload`` provides ``initial() -> [requests]`` and
         ``on_complete(result) -> [requests]`` (see :mod:`repro.serve.workload`).
-        Deterministic: dispatch times depend only on simulated arrivals,
-        the policy, and simulated service times.
+        A workload may additionally provide ``updates() -> [EdgeBatch]``
+        (:class:`~repro.stream.UpdateStream`): an update whose arrival
+        precedes the next micro-batch's dispatch time is applied first —
+        the server is busy for the update's simulated duration, and the
+        dispatch decision is re-taken afterwards (more arrivals may have
+        joined the batch).  Deterministic: dispatch times depend only on
+        simulated arrivals, the policy, and simulated service times.
 
         Each call reports only its own run: the phase clock and the cache's
         hit/miss counters reset on entry (cached rows and LFU frequencies
@@ -352,17 +452,41 @@ class ServingEngine:
         self.clock.reset()
         if self.cache is not None:
             self.cache.stats.reset()
+        updates = list(workload.updates()) if hasattr(workload, "updates") else []
+        if updates and self.stream is None:
+            raise ValueError(
+                "workload interleaves edge updates but this engine serves "
+                "a frozen graph; build it with Engine.serving() under "
+                "RunConfig(stream_updates=True) (or pass a StreamingGraph)"
+            )
         queue = RequestQueue()
         for req in workload.initial():
             queue.push(req)
         results: list[InferenceResult] = []
         free = 0.0
         batch_index = 0
+        next_update = 0
         while True:
             dispatch = self.batcher.next_dispatch(queue, free)
             if dispatch is None:
+                if next_update < len(updates):
+                    # Requests drained first: apply the remaining churn.
+                    at = max(free, updates[next_update].at)
+                    free = at + self.apply_update(updates[next_update])
+                    next_update += 1
+                    continue
                 break
             t, batch = dispatch
+            if next_update < len(updates) and updates[next_update].at <= t:
+                # The update is due before this batch would leave: put the
+                # batch back (it stays the oldest pending work), apply the
+                # update while the server would otherwise idle, and re-take
+                # the dispatch decision at the new free time.
+                queue.pending = batch + queue.pending
+                at = max(free, updates[next_update].at)
+                free = at + self.apply_update(updates[next_update])
+                next_update += 1
+                continue
             batch_results = self._serve_batch(batch, t, batch_index)
             free = batch_results[0].completed
             results.extend(batch_results)
@@ -382,4 +506,9 @@ class ServingEngine:
                 else None
             ),
             exact=self.exact,
+            update_stats=(
+                dataclasses.replace(self.stream.stats)
+                if self.stream is not None and updates
+                else None
+            ),
         )

@@ -166,3 +166,88 @@ class TestConfigObjects:
         assert m.same_node(1, 2) and not m.same_node(3, 4)
         with pytest.raises(ValueError):
             m.node_of(-1)
+
+
+class TestBenchArtifacts:
+    def test_write_load_roundtrip(self, tmp_path):
+        from repro.bench import (
+            BENCH_SCHEMA_VERSION,
+            load_bench_artifact,
+            write_bench_artifact,
+        )
+
+        path = write_bench_artifact(
+            "demo",
+            params={"scale": 0.1, "fanout": (4, 3)},
+            metrics={"req_per_s": np.float64(123.456)},
+            rows=[{"clients": np.int64(8), "p50_ms": 0.25}],
+            path=tmp_path / "BENCH_demo.json",
+        )
+        data = load_bench_artifact(path)
+        assert data["schema_version"] == BENCH_SCHEMA_VERSION
+        assert data["bench"] == "demo"
+        assert data["params"]["fanout"] == [4, 3]
+        assert data["metrics"]["req_per_s"] == pytest.approx(123.456)
+        assert data["rows"][0]["clients"] == 8
+        # numpy scalars must have become plain JSON types
+        assert isinstance(data["rows"][0]["clients"], int)
+
+    def test_writes_are_byte_stable(self, tmp_path):
+        from repro.bench import write_bench_artifact
+
+        kwargs = dict(
+            params={"b": 2, "a": 1}, metrics={"m": 1.0}, rows=[],
+        )
+        p1 = write_bench_artifact("stable", path=tmp_path / "one.json", **kwargs)
+        p2 = write_bench_artifact("stable", path=tmp_path / "two.json", **kwargs)
+        assert p1.read_text() == p2.read_text()
+
+    def test_refuses_unknown_schema_version(self, tmp_path):
+        import json
+
+        from repro.bench import load_bench_artifact
+
+        path = tmp_path / "BENCH_x.json"
+        path.write_text(json.dumps({
+            "schema_version": 999, "bench": "x", "params": {},
+            "metrics": {}, "rows": [],
+        }))
+        with pytest.raises(ValueError, match="schema_version"):
+            load_bench_artifact(path)
+
+    def test_refuses_missing_keys(self, tmp_path):
+        import json
+
+        from repro.bench import BENCH_SCHEMA_VERSION, load_bench_artifact
+
+        path = tmp_path / "BENCH_y.json"
+        path.write_text(json.dumps({
+            "schema_version": BENCH_SCHEMA_VERSION, "bench": "y",
+        }))
+        with pytest.raises(ValueError, match="params"):
+            load_bench_artifact(path)
+
+    def test_name_validation_and_default_path(self):
+        from repro.bench import bench_artifact, default_artifact_path
+
+        with pytest.raises(ValueError):
+            bench_artifact("has space")
+        with pytest.raises(ValueError):
+            bench_artifact("")
+        path = default_artifact_path("serving")
+        assert path.name == "BENCH_serving.json"
+        assert path.parent.name == "results"
+
+    def test_committed_artifacts_load(self):
+        """The trajectory points committed under benchmarks/results/ must
+        stay readable by the current schema."""
+        from pathlib import Path
+
+        from repro.bench import default_artifact_path, load_bench_artifact
+
+        results = default_artifact_path("x").parent
+        committed = sorted(Path(results).glob("BENCH_*.json"))
+        assert committed, "no committed benchmark artifacts found"
+        for path in committed:
+            data = load_bench_artifact(path)
+            assert data["bench"]

@@ -107,6 +107,26 @@ class TestGraphContainer:
         with pytest.raises(ValueError):
             Graph("bad", adj, train_idx=np.array([9]))
 
+    def test_rejects_unsorted_columns(self):
+        unsorted = CSRMatrix(
+            np.array([0, 2, 2]), np.array([1, 0]), np.ones(2), (2, 2)
+        )
+        with pytest.raises(ValueError, match="from_coo"):
+            Graph("bad", unsorted)
+
+    def test_rejects_duplicate_columns(self):
+        dup = CSRMatrix(
+            np.array([0, 2, 2]), np.array([0, 0]), np.ones(2), (2, 2)
+        )
+        with pytest.raises(ValueError, match="canonical CSR"):
+            Graph("bad", dup)
+
+    def test_canonical_from_coo_accepted(self):
+        adj = CSRMatrix.from_coo(
+            np.array([1, 0, 1]), np.array([0, 1, 0]), np.ones(3), (2, 2)
+        )
+        assert Graph("ok", adj).m == 2  # duplicates merged by from_coo
+
     def test_make_batches(self):
         g = self._toy()
         bs = g.make_batches(2)
