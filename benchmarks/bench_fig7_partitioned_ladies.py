@@ -13,7 +13,7 @@ from __future__ import annotations
 import pytest
 
 from repro.baselines import reference_cpu_ladies
-from repro.bench import format_table
+from repro.bench import format_table, write_bench_artifact
 from repro.comm import Communicator, ProcessGrid
 from repro.core import LadiesSampler
 from repro.distributed import partitioned_bulk_sampling
@@ -25,38 +25,40 @@ SWEEP = ((16, 1), (32, 2), (64, 4))
 WIDTH = 64
 
 
+def sweep_rows(g, batches, scale) -> tuple[list[dict], float]:
+    """The Figure 7 LADIES sweep plus the serial CPU reference time."""
+    cpu = reference_cpu_ladies(g, batches, WIDTH, work_scale=scale).seconds
+    rows = []
+    for p, c in SWEEP:
+        comm = Communicator(p, work_scale=scale)
+        grid = ProcessGrid(p, c)
+        blocks = BlockRows.partition(g.adj, grid.n_rows)
+        partitioned_bulk_sampling(
+            comm, grid, LadiesSampler(), blocks, batches, (WIDTH,),
+            seed=0,
+        )
+        bd = comm.clock.breakdown()
+        rows.append(
+            {
+                "p": p,
+                "c": c,
+                "probability": bd.get("probability", 0.0),
+                "sampling": bd.get("sampling", 0.0),
+                "extraction": bd.get("extraction", 0.0),
+                "total": sum(bd.values()),
+                "cpu_reference": cpu,
+            }
+        )
+    return rows, cpu
+
+
 @pytest.mark.parametrize("dataset", ["protein", "papers"])
 def test_fig7_ladies(dataset, benchmark, record_result):
     g, batches, scale = partitioned_graph(dataset)
 
-    def run():
-        cpu = reference_cpu_ladies(
-            g, batches, WIDTH, work_scale=scale
-        ).seconds
-        rows = []
-        for p, c in SWEEP:
-            comm = Communicator(p, work_scale=scale)
-            grid = ProcessGrid(p, c)
-            blocks = BlockRows.partition(g.adj, grid.n_rows)
-            partitioned_bulk_sampling(
-                comm, grid, LadiesSampler(), blocks, batches, (WIDTH,),
-                seed=0,
-            )
-            bd = comm.clock.breakdown()
-            rows.append(
-                {
-                    "p": p,
-                    "c": c,
-                    "probability": bd.get("probability", 0.0),
-                    "sampling": bd.get("sampling", 0.0),
-                    "extraction": bd.get("extraction", 0.0),
-                    "total": sum(bd.values()),
-                    "cpu_reference": cpu,
-                }
-            )
-        return rows, cpu
-
-    rows, cpu = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows, cpu = benchmark.pedantic(
+        sweep_rows, args=(g, batches, scale), rounds=1, iterations=1
+    )
     record_result(
         f"fig7_ladies_{dataset}",
         format_table(
@@ -77,3 +79,48 @@ def test_fig7_ladies(dataset, benchmark, record_result):
     # The crossover: by 64 GPUs the distributed sampler beats the serial
     # CPU reference (the paper reports exactly this threshold).
     assert by_p[64]["total"] < cpu
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Script mode: run both dataset sweeps and write the
+    ``BENCH_fig7_ladies.json`` trajectory point (simulated seconds)."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Figure 7 partitioned LADIES breakdown sweep"
+    )
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="artifact path (default benchmarks/results/"
+                        "BENCH_fig7_ladies.json); 'none' disables")
+    args = parser.parse_args(argv)
+
+    all_rows, metrics = [], {}
+    for dataset in ("protein", "papers"):
+        g, batches, scale = partitioned_graph(dataset)
+        rows, cpu = sweep_rows(g, batches, scale)
+        print(format_table(
+            rows, title=f"Figure 7 bottom [{dataset}] - partitioned "
+            "LADIES breakdown vs serial CPU reference (sim s)"
+        ))
+        by_p = {r["p"]: r for r in rows}
+        metrics[f"scaling_16_to_64_{dataset}"] = (
+            by_p[16]["total"] / by_p[64]["total"]
+        )
+        metrics[f"crossover_margin_p64_{dataset}"] = cpu / by_p[64]["total"]
+        all_rows.extend({"dataset": dataset, **r} for r in rows)
+    if args.json != "none":
+        path = write_bench_artifact(
+            "fig7_ladies",
+            params={"width": WIDTH, "sweep": list(SWEEP)},
+            metrics=metrics,
+            rows=all_rows,
+            path=args.json,
+        )
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

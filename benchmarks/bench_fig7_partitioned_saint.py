@@ -28,7 +28,7 @@ import hashlib
 import numpy as np
 import pytest
 
-from repro.bench import format_table
+from repro.bench import format_table, write_bench_artifact
 from repro.comm import Communicator, ProcessGrid
 from repro.core import GraphSaintRWSampler
 from repro.distributed import (
@@ -63,43 +63,48 @@ def partitioned_graph(dataset: str):
     return g, batches, scale
 
 
-@pytest.mark.parametrize("dataset", ["protein", "papers"])
-def test_fig7_saint(dataset, benchmark, record_result):
-    g, batches, scale = partitioned_graph(dataset)
+def sweep_rows(dataset: str, g, batches, scale) -> list[dict]:
+    """The Figure-7-style SAINT sweep for one dataset, with the single-rank
+    parity digest asserted at every grid point."""
     sampler = GraphSaintRWSampler(walk_length=WALK_LENGTH)
     reference = _digest(
         replicated_bulk_sampling(
             Communicator(1), sampler, g.adj, batches, DEPTH, seed=0
         )[0]
     )
+    rows = []
+    for p, c in SWEEP[dataset]:
+        comm = Communicator(p, work_scale=scale)
+        grid = ProcessGrid(p, c)
+        blocks = BlockRows.partition(g.adj, grid.n_rows)
+        samples, _ = partitioned_bulk_sampling(
+            comm, grid, sampler, blocks, batches, DEPTH, seed=0
+        )
+        assert _digest(samples) == reference  # parity vs single rank
+        bd = comm.clock.breakdown()
+        kinds = comm.clock.breakdown_by_kind()
+        rows.append(
+            {
+                "p": p,
+                "c": c,
+                "probability": bd.get("probability", 0.0),
+                "sampling": bd.get("sampling", 0.0),
+                "extraction": bd.get("extraction", 0.0),
+                "comm": sum(v for (_, k), v in kinds.items() if k == "comm"),
+                "comp": sum(v for (_, k), v in kinds.items() if k == "compute"),
+                "total": sum(bd.values()),
+            }
+        )
+    return rows
 
-    def run():
-        rows = []
-        for p, c in SWEEP[dataset]:
-            comm = Communicator(p, work_scale=scale)
-            grid = ProcessGrid(p, c)
-            blocks = BlockRows.partition(g.adj, grid.n_rows)
-            samples, _ = partitioned_bulk_sampling(
-                comm, grid, sampler, blocks, batches, DEPTH, seed=0
-            )
-            assert _digest(samples) == reference  # parity vs single rank
-            bd = comm.clock.breakdown()
-            kinds = comm.clock.breakdown_by_kind()
-            rows.append(
-                {
-                    "p": p,
-                    "c": c,
-                    "probability": bd.get("probability", 0.0),
-                    "sampling": bd.get("sampling", 0.0),
-                    "extraction": bd.get("extraction", 0.0),
-                    "comm": sum(v for (_, k), v in kinds.items() if k == "comm"),
-                    "comp": sum(v for (_, k), v in kinds.items() if k == "compute"),
-                    "total": sum(bd.values()),
-                }
-            )
-        return rows
 
-    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+@pytest.mark.parametrize("dataset", ["protein", "papers"])
+def test_fig7_saint(dataset, benchmark, record_result):
+    g, batches, scale = partitioned_graph(dataset)
+
+    rows = benchmark.pedantic(
+        sweep_rows, args=(dataset, g, batches, scale), rounds=1, iterations=1
+    )
     record_result(
         f"fig7_saint_{dataset}",
         format_table(
@@ -121,3 +126,53 @@ def test_fig7_saint(dataset, benchmark, record_result):
         assert r["extraction"] > r["sampling"]
     # Computation scales with p (embarrassingly parallel steps).
     assert by_p[64]["comp"] < by_p[16]["comp"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Script mode: run both dataset sweeps and write the
+    ``BENCH_fig7_saint.json`` trajectory point (simulated seconds; the
+    parity digests make any sampling divergence a hard failure)."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Figure-7-style partitioned GraphSAINT breakdown sweep"
+    )
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="artifact path (default benchmarks/results/"
+                        "BENCH_fig7_saint.json); 'none' disables")
+    args = parser.parse_args(argv)
+
+    all_rows, metrics = [], {}
+    for dataset in SWEEP:
+        g, batches, scale = partitioned_graph(dataset)
+        rows = sweep_rows(dataset, g, batches, scale)
+        print(format_table(
+            rows, title=f"Figure 7 (new row) [{dataset}] - partitioned "
+            "GraphSAINT breakdown (sim s)"
+        ))
+        by_p = {r["p"]: r for r in rows}
+        metrics[f"scaling_16_to_64_{dataset}"] = (
+            by_p[16]["total"] / by_p[64]["total"]
+        )
+        metrics[f"extraction_share_p16_{dataset}"] = (
+            by_p[16]["extraction"] / by_p[16]["total"]
+        )
+        all_rows.extend({"dataset": dataset, **r} for r in rows)
+    if args.json != "none":
+        path = write_bench_artifact(
+            "fig7_saint",
+            params={"walk_length": WALK_LENGTH, "depth": DEPTH,
+                    "n_batches": N_BATCHES, "batch_size": BATCH,
+                    "sweep": {d: list(s) for d, s in SWEEP.items()}},
+            metrics=metrics,
+            rows=all_rows,
+            path=args.json,
+        )
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -25,7 +25,13 @@ import time
 import numpy as np
 import pytest
 
-from repro.core import LadiesSampler, SageSampler, its_sample_rows
+from repro.core import (
+    FastGCNSampler,
+    GraphSaintRWSampler,
+    LadiesSampler,
+    SageSampler,
+    its_sample_rows,
+)
 from repro.graphs import rmat
 from repro.sparse import (
     KERNELS,
@@ -130,11 +136,30 @@ def _best_of(fn, *args, repeats: int) -> float:
     return best
 
 
+def _bulk_digest(samples) -> bytes:
+    import hashlib
+
+    h = hashlib.sha256()
+    for mb in samples:
+        h.update(np.ascontiguousarray(mb.batch, dtype=np.int64).tobytes())
+        for layer in mb.layers:
+            for arr in (
+                layer.adj.indptr, layer.adj.indices, layer.adj.data,
+                np.asarray(layer.src_ids, dtype=np.int64),
+                np.asarray(layer.dst_ids, dtype=np.int64),
+            ):
+                h.update(np.ascontiguousarray(arr).tobytes())
+            h.update(repr(layer.adj.shape).encode())
+    return h.digest()
+
+
 def main(argv: list[str] | None = None) -> int:
     """Compare one kernel backend against a baseline on the LADIES
-    frontier products and a full bulk LADIES sampling pass."""
+    frontier product and an end-to-end bulk sampling pass of every
+    built-in sampler, asserting bit-identical samples along the way."""
     parser = argparse.ArgumentParser(
-        description="Sparse-kernel backend comparison (LADIES frontier workload)"
+        description="Sparse-kernel backend comparison "
+        "(frontier SpGEMM + end-to-end sampler sweep)"
     )
     parser.add_argument("--kernel", default="hash", choices=KERNELS.names())
     parser.add_argument("--baseline", default="esc", choices=KERNELS.names())
@@ -145,10 +170,16 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--batch-size", type=int, default=512)
     parser.add_argument("--fanout", type=int, default=256)
     parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI preset: log_n 11, 4 batches x 128, "
+                        "fanout 64, 2 repeats")
     parser.add_argument("--json", default=None, metavar="PATH",
                         help="artifact path (default benchmarks/results/"
                         "BENCH_kernels.json); 'none' disables")
     args = parser.parse_args(argv)
+    if args.smoke:
+        args.log_n, args.batches = 11, 4
+        args.batch_size, args.fanout, args.repeats = 128, 64, 2
 
     rng = np.random.default_rng(0)
     adj = rmat(args.log_n, args.degree, rng)
@@ -169,26 +200,42 @@ def main(argv: list[str] | None = None) -> int:
               file=sys.stderr)
         return 1
 
-    print(f"LADIES frontier workload: {n} vertices, {adj.nnz} edges, "
+    print(f"workload: {n} vertices, {adj.nnz} edges, "
           f"{args.batches} batches x {len(batches[0])} vertices")
+    # rows: (slug, label, t_baseline, t_kernel)
     rows = []
     t_base = _best_of(base.spgemm, q, adj, repeats=args.repeats)
     t_kern = _best_of(kern.spgemm, q, adj, repeats=args.repeats)
-    rows.append(("frontier SpGEMM (Q A)", t_base, t_kern))
+    rows.append(("frontier", "frontier SpGEMM (Q A)", t_base, t_kern))
 
-    def bulk(kernel_name):
-        sampler = LadiesSampler(kernel=kernel_name)
-        sampler.sample_bulk(
-            adj, batches, (args.fanout,), np.random.default_rng(1)
-        )
+    # End-to-end bulk sampling, all four built-in samplers.  Same seed on
+    # both backends; the digest assert makes "faster but different" loud.
+    sampler_cases = [
+        ("sage", lambda k: SageSampler(kernel=k),
+         (max(2, args.fanout // 8), max(2, args.fanout // 16))),
+        ("ladies", lambda k: LadiesSampler(kernel=k), (args.fanout,)),
+        ("fastgcn", lambda k: FastGCNSampler(kernel=k), (args.fanout,)),
+        ("saint", lambda k: GraphSaintRWSampler(walk_length=3, kernel=k),
+         (2, 2)),
+    ]
+    bulk_repeats = max(1, args.repeats // 2)
+    for slug, factory, fanout in sampler_cases:
+        def bulk(kernel_name):
+            return factory(kernel_name).sample_bulk(
+                adj, batches, fanout, np.random.default_rng(1)
+            )
 
-    t_base = _best_of(bulk, args.baseline, repeats=max(1, args.repeats // 2))
-    t_kern = _best_of(bulk, args.kernel, repeats=max(1, args.repeats // 2))
-    rows.append(("bulk LADIES sampling", t_base, t_kern))
+        if _bulk_digest(bulk(args.baseline)) != _bulk_digest(bulk(args.kernel)):
+            print(f"error: {slug} samples differ between {args.kernel} and "
+                  f"{args.baseline}", file=sys.stderr)
+            return 1
+        t_base = _best_of(bulk, args.baseline, repeats=bulk_repeats)
+        t_kern = _best_of(bulk, args.kernel, repeats=bulk_repeats)
+        rows.append((slug, f"bulk {slug} sampling", t_base, t_kern))
 
-    width = max(len(r[0]) for r in rows)
+    width = max(len(r[1]) for r in rows)
     print(f"{'workload':<{width}}  {args.baseline:>10}  {args.kernel:>10}  speedup")
-    for name, tb, tk in rows:
+    for _, name, tb, tk in rows:
         print(f"{name:<{width}}  {tb * 1e3:8.2f}ms  {tk * 1e3:8.2f}ms  "
               f"{tb / tk:6.2f}x")
     if args.json != "none":
@@ -206,8 +253,7 @@ def main(argv: list[str] | None = None) -> int:
             # Wall-clock, so these are host-dependent trajectory points —
             # the speedup ratios are the comparable metric across hosts.
             metrics={
-                f"speedup_{name.split(' ')[0]}": tb / tk
-                for name, tb, tk in rows
+                f"speedup_{slug}": tb / tk for slug, _, tb, tk in rows
             },
             rows=[
                 {
@@ -216,7 +262,7 @@ def main(argv: list[str] | None = None) -> int:
                     f"{args.kernel}_ms": tk * 1e3,
                     "speedup": tb / tk,
                 }
-                for name, tb, tk in rows
+                for _, name, tb, tk in rows
             ],
             path=args.json,
         )

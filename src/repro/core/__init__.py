@@ -12,6 +12,16 @@ from .bulk import (
     split_stacked,
     stack_batches,
 )
+from .compile import (
+    CompiledLocalExecutor,
+    FusedProbNormStep,
+    FusedSampleExtractStep,
+    ProbCache,
+    eliminate_dead_steps,
+    fuse_prob_norm,
+    fuse_sample_extract,
+    optimize,
+)
 from .fastgcn_sampler import FastGCNSampler
 from .frontier import LayerSample, MinibatchSample
 from .its import gumbel_topk_rows, its_flops, its_sample_rows
@@ -45,6 +55,14 @@ __all__ = [
     "ExtractStep",
     "step_phase",
     "LocalExecutor",
+    "CompiledLocalExecutor",
+    "FusedProbNormStep",
+    "FusedSampleExtractStep",
+    "ProbCache",
+    "eliminate_dead_steps",
+    "fuse_prob_norm",
+    "fuse_sample_extract",
+    "optimize",
     "its_sample_rows",
     "gumbel_topk_rows",
     "its_flops",

@@ -25,26 +25,34 @@ import numpy as np
 
 from ..sparse import CSRMatrix
 
-__all__ = ["its_sample_rows", "gumbel_topk_rows", "its_flops"]
+__all__ = [
+    "its_sample_rows",
+    "its_select_mask",
+    "gumbel_topk_rows",
+    "gumbel_select_mask",
+    "its_flops",
+]
 
 _MAX_ROUNDS = 256  # termination backstop; each round makes progress
 
 
-def its_sample_rows(
+def its_select_mask(
     p: CSRMatrix,
     s: int,
     rng: np.random.Generator,
     *,
     replace: bool = False,
-) -> CSRMatrix:
-    """SAMPLE(P, s): draw ``min(s, nnz(row))`` distinct columns per row.
+) -> np.ndarray:
+    """ITS selection as a boolean mask over ``p``'s stored nonzeros.
 
-    Returns a binary CSR matrix of the same shape as ``p`` with the selected
-    columns set to 1.  With ``replace=True`` a single round of draws is made
-    (duplicates collapse, so rows may carry fewer than ``s`` ones — the
-    with-replacement semantics of e.g. DGL's default neighbor sampler).
+    Draws exactly the same uniforms in the same order as
+    :func:`its_sample_rows` (which is this function plus a CSR build), so
+    the two are interchangeable under a fixed seed.  The mask form is what
+    the fused SAMPLE+EXTRACT kernels consume — extraction reads the
+    selected entries straight out of ``p`` without materializing the
+    intermediate ``Q^{l-1}`` CSR.
 
-    Rows whose values sum to zero (including empty rows) yield no samples.
+    An empty ``p`` consumes no randomness and returns an empty mask.
     """
     if s <= 0:
         raise ValueError(f"sample count s must be positive, got {s}")
@@ -52,7 +60,7 @@ def its_sample_rows(
         raise ValueError("P must be non-negative to be sampled")
     n_rows = p.shape[0]
     if p.nnz == 0:
-        return CSRMatrix.zeros(p.shape)
+        return np.zeros(0, dtype=bool)
 
     row_ids = p.row_ids()
     selected = np.zeros(p.nnz, dtype=bool)
@@ -91,16 +99,70 @@ def its_sample_rows(
     else:
         raise RuntimeError("ITS failed to converge; is P malformed?")
 
-    out_rows = row_ids[selected]
-    indptr = np.zeros(n_rows + 1, dtype=np.int64)
+    return selected
+
+
+def _mask_to_csr(p: CSRMatrix, selected: np.ndarray) -> CSRMatrix:
+    """Materialize a selection mask as the binary sampled ``Q^{l-1}``."""
+    if selected.size == 0:
+        return CSRMatrix.zeros(p.shape)
+    out_rows = p.row_ids()[selected]
+    indptr = np.zeros(p.shape[0] + 1, dtype=np.int64)
     np.add.at(indptr, out_rows + 1, 1)
     np.cumsum(indptr, out=indptr)
+    # Column order within a row follows the original CSR order (sorted).
     return CSRMatrix(
         indptr,
         p.indices[selected],
         np.ones(int(selected.sum())),
         p.shape,
     )
+
+
+def its_sample_rows(
+    p: CSRMatrix,
+    s: int,
+    rng: np.random.Generator,
+    *,
+    replace: bool = False,
+) -> CSRMatrix:
+    """SAMPLE(P, s): draw ``min(s, nnz(row))`` distinct columns per row.
+
+    Returns a binary CSR matrix of the same shape as ``p`` with the selected
+    columns set to 1.  With ``replace=True`` a single round of draws is made
+    (duplicates collapse, so rows may carry fewer than ``s`` ones — the
+    with-replacement semantics of e.g. DGL's default neighbor sampler).
+
+    Rows whose values sum to zero (including empty rows) yield no samples.
+    """
+    return _mask_to_csr(p, its_select_mask(p, s, rng, replace=replace))
+
+
+def gumbel_select_mask(
+    p: CSRMatrix, s: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Gumbel top-k selection as a boolean mask over ``p``'s nonzeros.
+
+    Same draws in the same order as :func:`gumbel_topk_rows`; see
+    :func:`its_select_mask` for the mask contract.
+    """
+    if s <= 0:
+        raise ValueError(f"sample count s must be positive, got {s}")
+    if np.any(p.data < 0):
+        raise ValueError("P must be non-negative to be sampled")
+    if p.nnz == 0:
+        return np.zeros(0, dtype=bool)
+    row_ids = p.row_ids()
+    with np.errstate(divide="ignore"):
+        keys = np.log(p.data) + rng.gumbel(size=p.nnz)
+    keys[p.data == 0] = -np.inf
+    # Rank entries within each row by descending key: sort by (row, -key).
+    order = np.lexsort((-keys, row_ids))
+    ranks = np.empty(p.nnz, dtype=np.int64)
+    starts = p.indptr[:-1]
+    pos = np.arange(p.nnz, dtype=np.int64)
+    ranks[order] = pos - np.repeat(starts, np.diff(p.indptr))
+    return (ranks < s) & (p.data > 0)
 
 
 def gumbel_topk_rows(
@@ -112,32 +174,7 @@ def gumbel_topk_rows(
     single vectorized pass: each nonzero gets the key ``log(w) + Gumbel``;
     the ``s`` largest keys per row win.
     """
-    if s <= 0:
-        raise ValueError(f"sample count s must be positive, got {s}")
-    if np.any(p.data < 0):
-        raise ValueError("P must be non-negative to be sampled")
-    if p.nnz == 0:
-        return CSRMatrix.zeros(p.shape)
-    row_ids = p.row_ids()
-    with np.errstate(divide="ignore"):
-        keys = np.log(p.data) + rng.gumbel(size=p.nnz)
-    keys[p.data == 0] = -np.inf
-    # Rank entries within each row by descending key: sort by (row, -key).
-    order = np.lexsort((-keys, row_ids))
-    ranks = np.empty(p.nnz, dtype=np.int64)
-    starts = p.indptr[:-1]
-    pos = np.arange(p.nnz, dtype=np.int64)
-    ranks[order] = pos - np.repeat(starts, np.diff(p.indptr))
-    selected = (ranks < s) & (p.data > 0)
-
-    out_rows = row_ids[selected]
-    indptr = np.zeros(p.shape[0] + 1, dtype=np.int64)
-    np.add.at(indptr, out_rows + 1, 1)
-    np.cumsum(indptr, out=indptr)
-    # Column order within a row follows the original CSR order (sorted).
-    return CSRMatrix(
-        indptr, p.indices[selected], np.ones(int(selected.sum())), p.shape
-    )
+    return _mask_to_csr(p, gumbel_select_mask(p, s, rng))
 
 
 def its_flops(p: CSRMatrix, s: int) -> int:

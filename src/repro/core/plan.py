@@ -74,6 +74,10 @@ class ProbStep:
 
     source: str = "frontier"
 
+    #: Set on fused step subclasses (see :mod:`repro.core.compile`); plain
+    #: interpreters refuse steps with ``fused=True``.
+    fused = False
+
     def __post_init__(self) -> None:
         if self.source not in _PROB_SOURCES:
             raise ValueError(
@@ -81,10 +85,18 @@ class ProbStep:
                 f"expected one of {_PROB_SOURCES}"
             )
 
+    def describe_args(self) -> list[str]:
+        return [self.source]
+
 
 @dataclass(frozen=True)
 class NormStep:
     """NORM: the sampler's row-local normalization of ``P``."""
+
+    fused = False
+
+    def describe_args(self) -> list[str]:
+        return []
 
 
 @dataclass(frozen=True)
@@ -93,9 +105,14 @@ class SampleStep:
 
     count: int
 
+    fused = False
+
     def __post_init__(self) -> None:
         if self.count <= 0:
             raise ValueError(f"SAMPLE count must be positive, got {self.count}")
+
+    def describe_args(self) -> list[str]:
+        return [f"s={self.count}"]
 
 
 @dataclass(frozen=True)
@@ -112,6 +129,18 @@ class ExtractStep:
     union_dst: bool = False
     debias: bool = False
     n_layers: int | None = None
+
+    fused = False
+
+    def describe_args(self) -> list[str]:
+        args = [self.kind]
+        if self.union_dst:
+            args.append("union_dst")
+        if self.debias:
+            args.append("debias")
+        if self.n_layers is not None:
+            args.append(f"n_layers={self.n_layers}")
+        return args
 
     def __post_init__(self) -> None:
         if self.kind not in _EXTRACT_KINDS:
@@ -178,23 +207,20 @@ class SamplingPlan:
         return len(self.steps)
 
     def describe(self) -> str:
-        """One line per step: ``phase  STEP(args)`` — for docs and debug."""
+        """One line per step: ``phase  STEP(args)`` — for docs and debug.
+
+        Fused steps (from :func:`repro.core.compile.optimize`) render under
+        their own display names (``PROB+NORM``, ``SAMPLE+EXTRACT``) so an
+        optimized program shows its fusions.
+        """
         lines = []
         for step in self.steps:
-            name = type(step).__name__.removesuffix("Step").upper()
-            args = []
-            if isinstance(step, ProbStep):
-                args.append(step.source)
-            elif isinstance(step, SampleStep):
-                args.append(f"s={step.count}")
-            elif isinstance(step, ExtractStep):
-                args.append(step.kind)
-                if step.union_dst:
-                    args.append("union_dst")
-                if step.debias:
-                    args.append("debias")
-                if step.n_layers is not None:
-                    args.append(f"n_layers={step.n_layers}")
+            name = getattr(
+                step,
+                "display_name",
+                type(step).__name__.removesuffix("Step").upper(),
+            )
+            args = step.describe_args()
             lines.append(f"{step_phase(step):<12} {name}({', '.join(args)})")
         return "\n".join(lines)
 
@@ -245,14 +271,7 @@ class LocalExecutor:
     # ------------------------------------------------------------------ #
     def run(self, plan: SamplingPlan) -> list[MinibatchSample]:
         for step in plan.steps:
-            if isinstance(step, ProbStep):
-                self._prob(step)
-            elif isinstance(step, NormStep):
-                self.p = self.sampler.norm(self.p)
-            elif isinstance(step, SampleStep):
-                self._sample(step)
-            else:
-                self._extract(step)
+            self._dispatch(step)
         return [
             self.results[i]
             if self.results[i] is not None
@@ -261,6 +280,26 @@ class LocalExecutor:
             )
             for i in range(self.k)
         ]
+
+    def _dispatch(self, step: Step) -> None:
+        """Interpret one step.  Subclasses (the compiled executor) override
+        this to handle fused steps; the plain interpreter refuses them so a
+        half-threaded optimized plan fails loudly instead of silently
+        skipping work."""
+        if step.fused:
+            raise TypeError(
+                f"{type(step).__name__} needs the compiled executor "
+                f"(kernel='compiled'); the plain interpreter cannot run "
+                f"fused steps"
+            )
+        if isinstance(step, ProbStep):
+            self._prob(step)
+        elif isinstance(step, NormStep):
+            self.p = self.sampler.norm(self.p)
+        elif isinstance(step, SampleStep):
+            self._sample(step)
+        else:
+            self._extract(step)
 
     # ------------------------------------------------------------------ #
     # PROB
@@ -316,6 +355,14 @@ class LocalExecutor:
 
     def _extract_bipartite(self, step: ExtractStep) -> None:
         sampled = [self.q_next.row(i)[0] for i in range(self.k)]
+        self._extract_bipartite_from(sampled, step)
+
+    def _extract_bipartite_from(
+        self, sampled: list[np.ndarray], step: ExtractStep
+    ) -> None:
+        """Bipartite extraction given the per-batch sampled vertex lists
+        (read off ``q_next`` rows, or off the selection mask in the compiled
+        executor)."""
         if step.union_dst:
             sampled = [
                 np.union1d(sv, dv) for sv, dv in zip(sampled, self.dst_lists)

@@ -24,6 +24,7 @@ from ..sparse import (
     CSRMatrix,
     compact_columns,
     row_normalize,
+    row_normalize_inplace,
     row_selector,
 )
 from .frontier import LayerSample
@@ -64,6 +65,10 @@ class SageSampler(MatrixSampler):
     def norm(self, p: CSRMatrix) -> CSRMatrix:
         """Uniform distribution over each vertex's neighbors: 1/|N(v)|."""
         return row_normalize(p)
+
+    def norm_inplace(self, p: CSRMatrix) -> CSRMatrix:
+        """Fused-NORM variant: same divide, no copy (see MatrixSampler)."""
+        return row_normalize_inplace(p)
 
     def extract_batch_layer(
         self,

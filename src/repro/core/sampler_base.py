@@ -36,7 +36,12 @@ import numpy as np
 from ..sparse import CSRMatrix, vstack
 from ..sparse.kernels import KernelSpec, get_kernel
 from .frontier import MinibatchSample
-from .its import gumbel_topk_rows, its_sample_rows
+from .its import (
+    gumbel_select_mask,
+    gumbel_topk_rows,
+    its_sample_rows,
+    its_select_mask,
+)
 from .plan import LocalExecutor, SamplingPlan
 
 __all__ = ["MatrixSampler", "SpGEMMFn", "RngSpec"]
@@ -92,6 +97,16 @@ class MatrixSampler(ABC):
     def norm(self, p: CSRMatrix) -> CSRMatrix:
         """NORM(P): turn the raw ``Q A`` product into per-row distributions."""
 
+    def norm_inplace(self, p: CSRMatrix) -> CSRMatrix:
+        """NORM(P) overwriting ``p`` — the fused PROB+NORM kernel.
+
+        Called only on probability matrices the executor freshly computed
+        (and therefore owns).  Must produce bit-identical values to
+        :meth:`norm`; the base delegates to it (copying), so overriding is
+        a pure optimization samplers opt into.
+        """
+        return self.norm(p)
+
     def sample(
         self, p: CSRMatrix, s: int, rng: np.random.Generator
     ) -> CSRMatrix:
@@ -99,6 +114,18 @@ class MatrixSampler(ABC):
         if self.sample_backend == "gumbel":
             return gumbel_topk_rows(p, s, rng)
         return its_sample_rows(p, s, rng)
+
+    def sample_mask(
+        self, p: CSRMatrix, s: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """:meth:`sample` as a boolean mask over ``p``'s nonzeros.
+
+        Identical draws in identical order (the CSR build is the only
+        thing skipped) — the form the fused SAMPLE+EXTRACT kernels read.
+        """
+        if self.sample_backend == "gumbel":
+            return gumbel_select_mask(p, s, rng)
+        return its_select_mask(p, s, rng)
 
     @staticmethod
     def _normalize_rng(rng: RngSpec, k: int):
@@ -150,6 +177,37 @@ class MatrixSampler(ABC):
         ]
         return vstack(parts)
 
+    def sample_stacked_mask(
+        self,
+        p: CSRMatrix,
+        s: int,
+        rng: RngSpec,
+        bounds: Sequence[int] | np.ndarray,
+    ) -> np.ndarray:
+        """:meth:`sample_stacked` as a mask over ``p``'s nonzeros.
+
+        Per-batch generators sample each zero-copy row block separately
+        (consuming each stream exactly as :meth:`sample_stacked` does) and
+        the block masks concatenate back into ``p``'s global nonzero
+        order, since the blocks tile ``p``'s nnz contiguously.
+        """
+        if isinstance(rng, np.random.Generator):
+            return self.sample_mask(p, s, rng)
+        if len(rng) != len(bounds) - 1:
+            raise ValueError(
+                f"need one rng per row block: got {len(rng)} for "
+                f"{len(bounds) - 1} blocks"
+            )
+        parts = [
+            self.sample_mask(
+                p.row_block(int(bounds[i]), int(bounds[i + 1])), s, g
+            )
+            for i, g in enumerate(rng)
+        ]
+        if not parts:
+            return np.zeros(0, dtype=bool)
+        return np.concatenate(parts)
+
     # ------------------------------------------------------------------ #
     # Plan emission + whole-algorithm entry point (single device)
     # ------------------------------------------------------------------ #
@@ -173,6 +231,7 @@ class MatrixSampler(ABC):
         rng: RngSpec,
         *,
         spgemm_fn: SpGEMMFn | None = None,
+        prob_cache=None,
     ) -> list[MinibatchSample]:
         """Sample ``len(batches)`` minibatches in one bulk pass.
 
@@ -187,9 +246,17 @@ class MatrixSampler(ABC):
 
         The default implementation emits :meth:`plan` and interprets it
         with the single-device :class:`~repro.core.plan.LocalExecutor`;
-        samplers without a plan must override this method instead.
+        samplers without a plan must override this method instead.  When
+        the sampler's kernel backend sets ``compiles_plans`` (the
+        ``compiled`` registry entry), the plan is optimized
+        (:func:`repro.core.compile.optimize`) and run by the
+        :class:`~repro.core.compile.CompiledLocalExecutor` — bit-identical
+        output, fused execution.  ``prob_cache`` (a
+        :class:`~repro.core.compile.ProbCache`) then reuses probability
+        matrices across bulk calls sharing a frontier; it is ignored on
+        the interpreted path.
         """
-        spgemm_fn = self._resolve_spgemm(spgemm_fn)
+        spgemm = self._resolve_spgemm(spgemm_fn)
         self._validate(adj, batches, fanout)
         program = self.plan(tuple(int(s) for s in fanout))
         if program is None:
@@ -199,7 +266,14 @@ class MatrixSampler(ABC):
                 f"override sample_bulk()"
             )
         rng = self._normalize_rng(rng, len(batches))
-        return LocalExecutor(self, adj, batches, rng, spgemm_fn).run(program)
+        if getattr(get_kernel(self.kernel), "compiles_plans", False):
+            from .compile import CompiledLocalExecutor, optimize
+
+            executor = CompiledLocalExecutor(
+                self, adj, batches, rng, spgemm, prob_cache=prob_cache
+            )
+            return executor.run(optimize(program))
+        return LocalExecutor(self, adj, batches, rng, spgemm).run(program)
 
     # ------------------------------------------------------------------ #
     # Shared validation

@@ -44,6 +44,16 @@ from ..core import (
     reassemble_round_robin,
     step_phase,
 )
+from ..core.compile import (
+    FusedProbNormStep,
+    FusedSampleExtractStep,
+    compact_layer_from_mask,
+    mask_row_counts,
+    optimize,
+    sampled_rows_from_mask,
+    selected_row_cols,
+)
+from ..core.compile import _lowers_compact
 from ..core.frontier import LayerSample
 from ..core.plan import (
     ExtractStep,
@@ -51,6 +61,7 @@ from ..core.plan import (
     ProbStep,
     SampleStep,
     SamplingPlan,
+    Step,
 )
 from ..partition.block1d import BlockRows
 from ..sparse import CSRMatrix, row_selector, vstack
@@ -58,7 +69,11 @@ from ..sparse.kernels import get_kernel
 from .instrument import sample_norm_flops
 from .spgemm_15d import spgemm_15d
 
-__all__ = ["partitioned_bulk_sampling", "PartitionedExecutor"]
+__all__ = [
+    "partitioned_bulk_sampling",
+    "PartitionedExecutor",
+    "CompiledPartitionedExecutor",
+]
 
 
 def _charge_row(
@@ -151,14 +166,7 @@ class PartitionedExecutor:
     def run(self, plan: SamplingPlan) -> list[MinibatchSample]:
         for step in plan.steps:
             with self.comm.phase(step_phase(step)):
-                if isinstance(step, ProbStep):
-                    self._prob(step)
-                elif isinstance(step, NormStep):
-                    self._norm()
-                elif isinstance(step, SampleStep):
-                    self._sample(step)
-                else:
-                    self._extract(step)
+                self._dispatch(step)
         samples_by_row = [
             [
                 self.results[i]
@@ -172,6 +180,23 @@ class PartitionedExecutor:
             for row in range(self.n_rows)
         ]
         return reassemble_round_robin(samples_by_row, len(self.batches))
+
+    def _dispatch(self, step: Step) -> None:
+        """Interpret one step; the compiled subclass overrides this to add
+        fused handlers, the plain interpreter refuses fused steps."""
+        if getattr(step, "fused", False):
+            raise TypeError(
+                f"{type(step).__name__} needs CompiledPartitionedExecutor; "
+                f"the plain interpreter cannot run fused steps"
+            )
+        if isinstance(step, ProbStep):
+            self._prob(step)
+        elif isinstance(step, NormStep):
+            self._norm()
+        elif isinstance(step, SampleStep):
+            self._sample(step)
+        else:
+            self._extract(step)
 
     # ------------------------------------------------------------------ #
     # PROB: distributed probability generation (section 5.2.1)
@@ -342,10 +367,18 @@ class PartitionedExecutor:
         return out
 
     def _extract_bipartite(self, step: ExtractStep) -> None:
+        self._extract_bipartite_from(self._sampled_lists(step), step)
+
+    def _extract_bipartite_from(
+        self,
+        sampled_by_row: list[list[np.ndarray]],
+        step: ExtractStep,
+    ) -> None:
         """Distributed row extraction (1.5D SpGEMM) followed by per-batch
         column extraction split across each process row's replicas
-        (section 5.2.3)."""
-        sampled_by_row = self._sampled_lists(step)
+        (section 5.2.3).  ``sampled_by_row`` holds the per-row per-batch
+        sampled vertex lists, already unioned with destinations if the
+        step asks for it."""
         ar_blocks = self._row_extract_15d(self.dst)
         for row in range(self.n_rows):
             a_r = ar_blocks[row]
@@ -499,6 +532,141 @@ class PartitionedExecutor:
                 self.results[i] = MinibatchSample(batch, layers)
 
 
+class CompiledPartitionedExecutor(PartitionedExecutor):
+    """A :class:`PartitionedExecutor` that additionally runs fused steps.
+
+    Same fused row-wise kernels as the local compiled executor
+    (:mod:`repro.core.compile`), applied per process row: fused PROB+NORM
+    normalizes each row's 1.5D product block in place, fused
+    SAMPLE+EXTRACT keeps the selection as a mask over each block and
+    extracts straight from it.  Simulated cost charges stay identical to
+    the interpreter's (the model charges data volumes, which fusion does
+    not change); per-phase attribution folds each fused step into its
+    :func:`~repro.core.plan.step_phase` phase.
+    """
+
+    def _dispatch(self, step: Step) -> None:
+        if isinstance(step, FusedProbNormStep):
+            self._fused_prob_norm(step)
+        elif isinstance(step, FusedSampleExtractStep):
+            self._fused_sample_extract(step)
+        else:
+            super()._dispatch(step)
+
+    def _fused_prob_norm(self, step: FusedProbNormStep) -> None:
+        self._prob(step)
+        # The blocks are freshly computed 1.5D products (or fresh stacks
+        # of the cached importance row) — this executor owns them.
+        self.p_blocks = [
+            self.sampler.norm_inplace(p) for p in self.p_blocks
+        ]
+
+    def _fused_sample_extract(self, step: FusedSampleExtractStep) -> None:
+        self.s = step.count
+        sels: list[np.ndarray | None] = []
+        for row in range(self.n_rows):
+            if not self.owners[row]:
+                sels.append(None)
+                continue
+            p = self.p_blocks[row]
+            sels.append(
+                self.sampler.sample_stacked_mask(
+                    p, step.count, self.rngs[row], self.bounds[row]
+                )
+            )
+            _charge_row(
+                self.comm, self.grid, row,
+                flops=sample_norm_flops(p, step.count),
+                nbytes=24.0 * p.nnz,
+                kernels=4,
+            )
+        extract = step.extract
+        if extract.kind == "compact":
+            self._fused_extract_compact(sels)
+        elif extract.kind == "bipartite":
+            self._extract_bipartite_from(
+                self._sampled_lists_from_masks(sels, extract), extract
+            )
+        else:  # walk
+            self._fused_extract_walk(sels)
+        self.q_next = None
+
+    def _sampled_lists_from_masks(
+        self, sels: list[np.ndarray | None], step: ExtractStep
+    ) -> list[list[np.ndarray]]:
+        out: list[list[np.ndarray]] = []
+        for row in range(self.n_rows):
+            sel = sels[row]
+            if sel is None:
+                out.append([])
+                continue
+            p = self.p_blocks[row]
+            sampled = [
+                selected_row_cols(p, sel, b)
+                for b in range(len(self.dst[row]))
+            ]
+            if step.union_dst:
+                sampled = [
+                    np.union1d(sv, dv)
+                    for sv, dv in zip(sampled, self.dst[row])
+                ]
+            out.append(sampled)
+        return out
+
+    def _fused_extract_compact(
+        self, sels: list[np.ndarray | None]
+    ) -> None:
+        lower = _lowers_compact(self.sampler)
+        for row in range(self.n_rows):
+            sel = sels[row]
+            if sel is None:
+                continue
+            p = self.p_blocks[row]
+            bounds = self.bounds[row]
+            new_dsts = []
+            for b, dst in enumerate(self.dst[row]):
+                lo, hi = int(bounds[b]), int(bounds[b + 1])
+                if lower:
+                    layer = compact_layer_from_mask(
+                        p, sel, lo, hi, dst,
+                        include_dst=self.sampler.include_dst,
+                    )
+                else:
+                    layer = self.sampler.extract_batch_layer(
+                        sampled_rows_from_mask(p, sel, lo, hi), dst
+                    )
+                self.layers_rev[row][b].append(layer)
+                new_dsts.append(layer.src_ids)
+            self.dst[row] = new_dsts
+            _charge_row(
+                self.comm, self.grid, row,
+                nbytes=24.0 * int(sel.sum()), kernels=2,
+            )
+
+    def _fused_extract_walk(self, sels: list[np.ndarray | None]) -> None:
+        for row in range(self.n_rows):
+            sel = sels[row]
+            if sel is None:
+                continue
+            p = self.p_blocks[row]
+            frontier = self.frontier[row]
+            if self.visited[row] is None:
+                self.visited[row] = [frontier]
+            nxt = frontier.copy()
+            picked = np.flatnonzero(mask_row_counts(p, sel) > 0)
+            nxt[picked] = p.indices[sel]
+            self.visited[row].append(nxt)
+            bounds = self.bounds[row]
+            self.dst[row] = [
+                nxt[int(bounds[b]) : int(bounds[b + 1])]
+                for b in range(len(self.dst[row]))
+            ]
+            _charge_row(
+                self.comm, self.grid, row,
+                nbytes=16.0 * nxt.size, kernels=2,
+            )
+
+
 def partitioned_bulk_sampling(
     comm: Communicator,
     grid: ProcessGrid,
@@ -533,8 +701,18 @@ def partitioned_bulk_sampling(
             f"plan; {type(sampler).__name__} does not (implement "
             f"MatrixSampler.plan())"
         )
-    executor = PartitionedExecutor(
-        comm, grid, sampler, a_blocks, batches, seed,
-        sparsity_aware=sparsity_aware, kernel=kernel,
+    backend = get_kernel(
+        kernel if kernel is not None else getattr(sampler, "kernel", None)
     )
+    if getattr(backend, "compiles_plans", False):
+        plan = optimize(plan)
+        executor: PartitionedExecutor = CompiledPartitionedExecutor(
+            comm, grid, sampler, a_blocks, batches, seed,
+            sparsity_aware=sparsity_aware, kernel=kernel,
+        )
+    else:
+        executor = PartitionedExecutor(
+            comm, grid, sampler, a_blocks, batches, seed,
+            sparsity_aware=sparsity_aware, kernel=kernel,
+        )
     return executor.run(plan), executor.owners

@@ -54,7 +54,9 @@ import numpy as np
 
 from ..comm.clock import SimClock
 from ..comm.cost_model import CostModel, payload_nbytes
+from ..core.compile import ProbCache, optimize
 from ..core.sage_sampler import SageSampler
+from ..sparse.kernels import get_kernel
 from ..gnn.model import GNNModel
 from ..graphs import Graph
 from .cache import EmbeddingCache, ServeStats
@@ -208,6 +210,15 @@ class ServingEngine:
                 config.sampler, graph=graph, for_training=True,
                 kernel=config.kernel,
             )
+        # A compiled kernel backend (compiles_plans) runs fused plans and
+        # can reuse probability matrices across micro-batches that share a
+        # frontier — the serving-side payoff of the plan compiler.
+        self._compiled = getattr(
+            get_kernel(config.kernel), "compiles_plans", False
+        )
+        self.prob_cache: ProbCache | None = (
+            ProbCache() if self._compiled else None
+        )
         self.cache: EmbeddingCache | None = None
         if self.exact and n_layers > 1 and config.embed_budget > 0:
             self.cache = EmbeddingCache(
@@ -275,6 +286,10 @@ class ServingEngine:
                 )
             if self.exact:
                 self.fanout = self._full_fanout()
+            if self.prob_cache is not None:
+                # Cached probability matrices were computed on the old
+                # adjacency; every one of them is stale now.
+                self.prob_cache.clear()
             if self.cache is not None and result.dirty_rows.size:
                 stale = dirty_closure(
                     self.graph.adj, result.dirty_rows, self.model.n_layers - 2
@@ -293,14 +308,31 @@ class ServingEngine:
     # ------------------------------------------------------------------ #
     # Cost accounting helpers
     # ------------------------------------------------------------------ #
+    def _sample_bulk(self, batches, fanout, rng):
+        """The engine's one bulk-sampling call site.
+
+        Threads the probability cache through when the configured kernel
+        compiles plans; interpreted backends get the plain call (their
+        ``sample_bulk`` may be an override without the keyword).
+        """
+        if self.prob_cache is not None:
+            return self.sampler.sample_bulk(
+                self.graph.adj, batches, fanout, rng,
+                prob_cache=self.prob_cache,
+            )
+        return self.sampler.sample_bulk(self.graph.adj, batches, fanout, rng)
+
     def _charge_sampling(self, layers) -> None:
         """One plan execution: fixed kernel launches + size-scaled work.
 
         The kernel count comes from the emitted plan (4 steps per layer for
-        the node-wise program), *not* from the number of coalesced requests
-        — that independence is the micro-batching amortization.
+        the node-wise program, 2 after the plan compiler fuses PROB+NORM
+        and SAMPLE+EXTRACT), *not* from the number of coalesced requests —
+        that independence is the micro-batching amortization.
         """
         program = self.sampler.plan(tuple(self.fanout[: len(layers)]))
+        if program is not None and self._compiled:
+            program = optimize(program)
         kernels = len(program.steps) if program is not None else 4 * len(layers)
         edges = sum(layer.adj.nnz for layer in layers)
         nbytes = 2.0 * payload_nbytes([layer.adj for layer in layers])
@@ -342,9 +374,7 @@ class ServingEngine:
         n_layers = model.n_layers
         if self.cache is None:
             with self.clock.phase("sampling"):
-                sample = self.sampler.sample_bulk(
-                    graph.adj, [targets], self.fanout, rng
-                )[0]
+                sample = self._sample_bulk([targets], self.fanout, rng)[0]
                 self._charge_sampling(sample.layers)
             with self.clock.phase("propagation"):
                 h = graph.features[sample.input_frontier]
@@ -354,9 +384,7 @@ class ServingEngine:
         # Cached path: the final hop is sampled for the whole frontier, but
         # the deep (L-1)-layer expansion only runs for cache *misses*.
         with self.clock.phase("sampling"):
-            outer = self.sampler.sample_bulk(
-                graph.adj, [targets], self.fanout[-1:], rng
-            )[0]
+            outer = self._sample_bulk([targets], self.fanout[-1:], rng)[0]
             self._charge_sampling(outer.layers)
         layer_last = outer.layers[0]
         frontier = layer_last.src_ids
@@ -375,8 +403,8 @@ class ServingEngine:
         misses = frontier[~mask]
         if misses.size:
             with self.clock.phase("sampling"):
-                inner = self.sampler.sample_bulk(
-                    graph.adj, [misses], self.fanout[: n_layers - 1], rng
+                inner = self._sample_bulk(
+                    [misses], self.fanout[: n_layers - 1], rng
                 )[0]
                 self._charge_sampling(inner.layers)
             with self.clock.phase("propagation"):

@@ -16,6 +16,7 @@ from .ops import (
     hstack,
     indicator_rows,
     row_normalize,
+    row_normalize_inplace,
     row_selector,
     vstack,
 )
@@ -55,6 +56,7 @@ __all__ = [
     "col_selector",
     "indicator_rows",
     "row_normalize",
+    "row_normalize_inplace",
     "compact_columns",
     "sprand",
     "sprand_per_row",

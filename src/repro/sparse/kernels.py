@@ -60,6 +60,7 @@ __all__ = [
     "KernelBackend",
     "ESCKernel",
     "HashKernel",
+    "CompiledKernel",
     "ScipyKernel",
     "KernelSpec",
     "get_kernel",
@@ -79,6 +80,14 @@ class KernelBackend:
     """
 
     name: str = "abstract"
+
+    #: When True, plan-driven executors run sampling plans through the
+    #: optimizer in :mod:`repro.core.compile` (PROB+NORM / SAMPLE+EXTRACT
+    #: fusion, dead-step elimination) and interpret them with the compiled
+    #: executors' fused row-wise kernels.  Output stays bit-identical to
+    #: the step-by-step interpreter (enforced by the golden-digest and
+    #: differential plan-fuzzing suites).
+    compiles_plans: bool = False
 
     def spgemm(self, a: CSRMatrix, b: CSRMatrix) -> CSRMatrix:
         """Sparse @ sparse -> sparse (duplicates summed)."""
@@ -114,6 +123,21 @@ class HashKernel(KernelBackend):
 
     def spgemm(self, a: CSRMatrix, b: CSRMatrix) -> CSRMatrix:
         return spgemm_hash(a, b)
+
+
+class CompiledKernel(HashKernel):
+    """Hash SpGEMM plus sampling-plan compilation.
+
+    The SpGEMM primitive is exactly the ``hash`` backend's (so individual
+    products are bit-identical to it); the difference is the
+    ``compiles_plans`` flag: executors seeing this backend optimize the
+    sampling plan (:func:`repro.core.compile.optimize`) and run the fused
+    steps through row-wise kernels that skip the NORM copy and the
+    intermediate ``Q^{l-1}`` CSR materialization.
+    """
+
+    name = "compiled"
+    compiles_plans = True
 
 
 class ScipyKernel(KernelBackend):
@@ -158,6 +182,13 @@ KERNELS.register(
     "hash",
     HashKernel(),
     description="row-wise hash accumulator; fast on duplicate-heavy products",
+    requires=None,
+)
+KERNELS.register(
+    "compiled",
+    CompiledKernel(),
+    description="hash SpGEMM + plan optimizer: fused PROB+NORM / "
+    "SAMPLE+EXTRACT row-wise kernels",
     requires=None,
 )
 

@@ -29,6 +29,7 @@ __all__ = [
     "col_selector",
     "indicator_rows",
     "row_normalize",
+    "row_normalize_inplace",
     "compact_columns",
 ]
 
@@ -152,6 +153,27 @@ def row_normalize(mat: CSRMatrix) -> CSRMatrix:
         mat.data, row_sums, out=np.zeros_like(mat.data), where=row_sums != 0
     )
     return CSRMatrix(mat.indptr.copy(), mat.indices.copy(), data, mat.shape)
+
+
+def row_normalize_inplace(mat: CSRMatrix) -> CSRMatrix:
+    """:func:`row_normalize`, overwriting ``mat.data`` instead of copying.
+
+    Bit-identical values to :func:`row_normalize` (same divide, same
+    zero-sum-row handling); only the copies of ``indptr``/``indices``/
+    ``data`` are skipped.  Callers must own ``mat`` — the fused PROB+NORM
+    kernel does, since the probability product it normalizes is freshly
+    computed.
+    """
+    if mat.nnz == 0:
+        return mat
+    sums = mat.row_sums()
+    row_sums = sums[mat.row_ids()]
+    nonzero = row_sums != 0
+    np.divide(mat.data, row_sums, out=mat.data, where=nonzero)
+    if not nonzero.all():
+        # Match row_normalize's out=np.zeros_like: untouched lanes are 0.
+        mat.data[~nonzero] = 0.0
+    return mat
 
 
 def compact_columns(mat: CSRMatrix) -> tuple[CSRMatrix, np.ndarray]:

@@ -86,7 +86,7 @@ def _bulk_digest(samples) -> str:
     return h.hexdigest()
 
 
-def _run_partitioned(name: str, p: int, c: int) -> str:
+def _run_partitioned(name: str, p: int, c: int, kernel=None) -> str:
     adj, batches = _graph_and_batches()
     factory = dict((n, f) for n, f, _ in SAMPLER_CASES)[name]
     fanout = dict((n, fo) for n, _, fo in SAMPLER_CASES)[name]
@@ -94,7 +94,7 @@ def _run_partitioned(name: str, p: int, c: int) -> str:
     blocks = BlockRows.partition(adj, grid.n_rows)
     samples, _ = partitioned_bulk_sampling(
         Communicator(p), grid, factory(), blocks, batches, fanout,
-        seed=DIST_SEED,
+        seed=DIST_SEED, kernel=kernel,
     )
     assert len(samples) == N_BATCHES
     return _bulk_digest(samples)
@@ -107,6 +107,29 @@ def test_matches_pre_refactor_implementation(name):
     """The plan executor reproduces the hand-coded algorithms bit-for-bit
     at the grid shape where their RNG disciplines coincide."""
     assert _run_partitioned(name, 4, 1) == PRE_REFACTOR_DIGESTS[name]
+
+
+@pytest.mark.parametrize(
+    "name", [n for n in PRE_REFACTOR_DIGESTS]
+)
+@pytest.mark.parametrize("p,c", [(4, 1), (4, 2), (2, 1)])
+def test_compiled_matches_pre_refactor_digests(name, p, c):
+    """The compiled partitioned executor (kernel="compiled": optimized
+    plan, fused per-row kernels) reproduces the pre-refactor digests bit
+    for bit at every grid shape — fusion changes execution, never output."""
+    assert (
+        _run_partitioned(name, p, c, kernel="compiled")
+        == PRE_REFACTOR_DIGESTS[name]
+    )
+
+
+@pytest.mark.parametrize("name", [c[0] for c in SAMPLER_CASES])
+def test_compiled_matches_interpreted_partitioned(name):
+    """Compiled == interpreted on the 1.5D grid for all four samplers
+    (SAINT has no pre-refactor digest, so it's pinned by parity)."""
+    assert _run_partitioned(name, 4, 2, kernel="compiled") == _run_partitioned(
+        name, 4, 2
+    )
 
 
 @pytest.mark.parametrize("name", [c[0] for c in SAMPLER_CASES])

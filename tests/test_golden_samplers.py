@@ -121,6 +121,19 @@ def test_golden_digest(name):
         assert _run(name, kernel) == golden, (name, kernel)
 
 
+@pytest.mark.parametrize("name", [c[0] for c in SAMPLER_CASES])
+def test_golden_digest_compiled(name):
+    """The plan compiler (kernel="compiled": optimizer passes + fused
+    row-wise kernels) reproduces every golden digest bit for bit.
+
+    The ``KERNELS.names()`` loops above already cover "compiled" via the
+    registry; this explicit pin survives even if the sweep logic changes,
+    because bit-identity is the compiler's acceptance contract.
+    """
+    assert "compiled" in KERNELS.names()
+    assert _run(name, "compiled") == GOLDEN_DIGESTS[name]
+
+
 def test_run_twice_is_deterministic():
     """Same seed, same process: byte-identical output (no hidden state)."""
     for name in GOLDEN_DIGESTS:
