@@ -18,10 +18,18 @@ The script *asserts* the serving subsystem's contract as it runs:
 * the run is deterministic: repeating a point reproduces the same logits
   digest.
 
-Run as a script (also wired into the CI serving smoke job)::
+**Fleet sweep** (``BENCH_serving_fleet.json``): the same closed-loop load
+at fleet scale — replica count x router policy through the
+:class:`~repro.serve.ServingCluster` — asserting every fleet configuration
+serves the *same* logits digest (exactness is replica-invariant), that a
+routed N>1 fleet out-throughputs the single replica at high offered load,
+and that the SLO autoscaler scales up and converges under an
+SLO-violating load step.
+
+Run as a script (also wired into the CI serving smoke jobs)::
 
     PYTHONPATH=src python benchmarks/bench_serving.py
-    PYTHONPATH=src python benchmarks/bench_serving.py --smoke
+    PYTHONPATH=src python benchmarks/bench_serving.py --smoke --replicas 4
 """
 
 from __future__ import annotations
@@ -35,7 +43,7 @@ from repro.api import Engine, RunConfig
 from repro.bench import write_bench_artifact
 from repro.bench.reporting import format_table
 from repro.pipeline import layerwise_inference
-from repro.serve import ClosedLoopWorkload, ServingEngine
+from repro.serve import ClosedLoopWorkload, ServingCluster, ServingEngine
 
 
 def run_point(
@@ -58,6 +66,122 @@ def run_point(
         n_requests, engine.graph.test_idx, clients=clients, seed=seed
     )
     return server.process(workload)
+
+
+def run_fleet_point(
+    engine: Engine,
+    *,
+    replicas: int,
+    router: str,
+    clients: int,
+    n_requests: int,
+    embed_budget: float,
+    seed: int,
+    slo_p99: float = 0.0,
+    autoscale_max: int = 8,
+    autoscale_interval: float = 5e-4,
+):
+    """One fleet sweep point: a fresh cluster over a fresh closed loop."""
+    cfg = engine.config.replace(
+        replicas=replicas, router=router, embed_budget=embed_budget,
+        slo_p99=slo_p99, autoscale_max=autoscale_max,
+        autoscale_interval=autoscale_interval,
+    )
+    fleet = ServingCluster(engine.model, engine.graph, cfg)
+    workload = ClosedLoopWorkload(
+        n_requests, engine.graph.test_idx, clients=clients, seed=seed
+    )
+    return fleet.process(workload)
+
+
+def run_fleet_sweep(engine: Engine, args, failures: list[str]):
+    """Replica-count x router sweep + the autoscale scenario.
+
+    Returns ``(rows, metrics)`` for the BENCH_serving_fleet artifact.
+    """
+    replica_counts = sorted(
+        {int(x) for x in args.replicas.split(",")} | {1}
+    )
+    rows = []
+    metrics: dict[str, float] = {}
+    digests: set[str] = set()
+    best_routed = 0.0
+    single = 0.0
+    for n in replica_counts:
+        routers = ["direct"] if n == 1 else ["round_robin", "consistent_hash"]
+        for router in routers:
+            report = run_fleet_point(
+                engine, replicas=n, router=router,
+                clients=args.fleet_clients, n_requests=args.fleet_requests,
+                embed_budget=args.embed_budget, seed=args.seed,
+            )
+            digests.add(report.digest())
+            if n == 1:
+                single = max(single, report.throughput)
+            else:
+                best_routed = max(best_routed, report.throughput)
+            row = {
+                "replicas": n,
+                "router": router,
+                "clients": args.fleet_clients,
+                **report.row(),
+            }
+            row["spread"] = "/".join(
+                str(c) for _, c in sorted(report.per_replica.items())
+            )
+            rows.append(row)
+            metrics[f"fleet_req_per_s_n{n}_{router}"] = report.throughput
+            metrics[f"fleet_p99_ms_n{n}_{router}"] = (
+                report.latency_summary()["p99"] * 1e3
+            )
+    if len(digests) != 1:
+        failures.append(
+            f"fleet digests diverge across replica counts / routers: "
+            f"{sorted(digests)} — exact serving must be replica-invariant"
+        )
+    metrics["fleet_speedup_vs_single"] = (
+        best_routed / single if single > 0 else 0.0
+    )
+    if best_routed <= single:
+        failures.append(
+            f"no routed N>1 fleet out-throughputs the single replica at "
+            f"clients={args.fleet_clients}: best {best_routed:.0f} vs "
+            f"single {single:.0f} req/s"
+        )
+
+    # Autoscale scenario: start at one replica under an SLO-violating
+    # closed-loop load step; the autoscaler must scale up and converge
+    # (final two evaluation windows agree on the replica count).
+    autoscale_max = max(replica_counts)
+    report = run_fleet_point(
+        engine, replicas=1, router="round_robin",
+        clients=args.fleet_clients, n_requests=2 * args.fleet_requests,
+        embed_budget=args.embed_budget, seed=args.seed,
+        slo_p99=args.slo_p99, autoscale_max=autoscale_max,
+        autoscale_interval=args.autoscale_interval,
+    )
+    trace = report.replica_trace
+    final = trace[-1][1]
+    metrics["autoscale_final_replicas"] = float(final)
+    metrics["autoscale_req_per_s"] = report.throughput
+    rows.append({
+        "replicas": f"1->{final}",
+        "router": "round_robin",
+        "clients": args.fleet_clients,
+        "trace": "->".join(str(c) for _, c in trace),
+        **report.row(),
+    })
+    if final <= 1:
+        failures.append(
+            f"autoscaler did not scale up under an SLO-violating load "
+            f"(slo_p99={args.slo_p99:g}, trace {trace})"
+        )
+    if len(trace) >= 2 and trace[-1][1] != trace[-2][1]:
+        failures.append(
+            f"autoscaler did not converge: replica count still moving at "
+            f"the end of the run (trace {trace})"
+        )
+    return rows, metrics
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -83,10 +207,35 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--json", default=None, metavar="PATH",
                         help="artifact path (default benchmarks/results/"
                         "BENCH_serving.json); 'none' disables")
+    parser.add_argument("--replicas", default=None, metavar="N,N,...",
+                        help="fleet sizes for the replica x router sweep "
+                        "(1 is always included as the baseline); omit to "
+                        "skip the fleet sweep")
+    parser.add_argument("--fleet-clients", type=int, default=128,
+                        dest="fleet_clients", metavar="N",
+                        help="closed-loop clients for the fleet sweep "
+                        "(high offered load), default 128")
+    parser.add_argument("--fleet-requests", type=int, default=512,
+                        dest="fleet_requests", metavar="N",
+                        help="requests per fleet sweep point, default 512")
+    parser.add_argument("--slo-p99", type=float, default=2e-4,
+                        dest="slo_p99", metavar="SECONDS",
+                        help="p99 SLO for the autoscale scenario, "
+                        "default 2e-4")
+    parser.add_argument("--autoscale-interval", type=float, default=5e-4,
+                        dest="autoscale_interval", metavar="SECONDS",
+                        help="autoscaler window for the scenario, "
+                        "default 5e-4")
+    parser.add_argument("--fleet-json", default=None, metavar="PATH",
+                        dest="fleet_json",
+                        help="fleet artifact path (default benchmarks/"
+                        "results/BENCH_serving_fleet.json); 'none' disables")
     args = parser.parse_args(argv)
 
     if args.smoke:
         args.clients, args.requests = "1,8", 48
+        args.fleet_clients = min(args.fleet_clients, 64)
+        args.fleet_requests = min(args.fleet_requests, 256)
 
     cfg = RunConfig(
         dataset=args.dataset, scale=args.scale, train_split=0.5,
@@ -189,6 +338,18 @@ def main(argv: list[str] | None = None) -> int:
     if kernel_speedup is not None:
         print(f"serving speedup vs hash interpreter at clients={peak}: "
               f"{kernel_speedup:.2f}x")
+
+    fleet_rows: list[dict] = []
+    fleet_metrics: dict[str, float] = {}
+    if args.replicas is not None:
+        fleet_rows, fleet_metrics = run_fleet_sweep(engine, args, failures)
+        print(format_table(
+            fleet_rows,
+            title=f"serving fleet sweep: clients={args.fleet_clients} "
+            f"requests/point={args.fleet_requests} "
+            f"autoscale slo_p99={args.slo_p99:g}",
+        ))
+
     if failures:
         for f in failures:
             print(f"error: {f}", file=sys.stderr)
@@ -196,6 +357,11 @@ def main(argv: list[str] | None = None) -> int:
     print("ok: micro-batching beats per-request serving, logits "
           "bit-identical to layerwise inference (cache on or off), "
           "digests deterministic")
+    if args.replicas is not None:
+        print(f"ok: fleet digest replica-invariant, best routed fleet "
+              f"{fleet_metrics['fleet_speedup_vs_single']:.2f}x the single "
+              f"replica, autoscaler converged at "
+              f"{int(fleet_metrics['autoscale_final_replicas'])} replicas")
     if args.json != "none":
         client_counts = [int(x) for x in args.clients.split(",")]
         metrics = {
@@ -219,6 +385,28 @@ def main(argv: list[str] | None = None) -> int:
             metrics=metrics,
             rows=rows,
             path=args.json,
+        )
+        print(f"wrote {path}")
+    if args.replicas is not None and args.fleet_json != "none":
+        path = write_bench_artifact(
+            "serving_fleet",
+            params={
+                "dataset": args.dataset, "scale": args.scale,
+                "fanout": args.fanout, "hidden": args.hidden,
+                "epochs": args.epochs, "seed": args.seed,
+                "kernel": args.kernel, "smoke": bool(args.smoke),
+                "replicas": sorted(
+                    {int(x) for x in args.replicas.split(",")} | {1}
+                ),
+                "fleet_clients": args.fleet_clients,
+                "fleet_requests": args.fleet_requests,
+                "embed_budget": args.embed_budget,
+                "slo_p99": args.slo_p99,
+                "autoscale_interval": args.autoscale_interval,
+            },
+            metrics=fleet_metrics,
+            rows=fleet_rows,
+            path=args.fleet_json,
         )
         print(f"wrote {path}")
     return 0

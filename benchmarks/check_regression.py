@@ -1,0 +1,101 @@
+"""CI gate: diff a fresh BENCH_*.json against the committed baseline.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_regression.py FRESH.json
+    PYTHONPATH=src python benchmarks/check_regression.py FRESH.json \
+        --baseline benchmarks/results/BENCH_serving_fleet.json \
+        --tolerance 0.1
+
+Without ``--baseline`` the committed artifact is located from the fresh
+artifact's ``bench`` name (``benchmarks/results/BENCH_<bench>.json``).
+Directional metrics (throughput/speedup up, latency/makespan down) must
+stay within ``--tolerance`` of the baseline; params must match exactly
+(excluding ``--ignore-params`` keys) or the artifacts are declared
+incomparable — a different invocation proves nothing about perf.
+
+Exit codes: 0 ok, 1 regression, 2 usage/schema error, 3 params mismatch.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.bench import (
+    ParamsMismatch,
+    compare_artifacts,
+    default_artifact_path,
+    load_bench_artifact,
+    metric_direction,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail on perf regressions vs a committed BENCH artifact"
+    )
+    parser.add_argument("fresh", help="freshly emitted BENCH_*.json to check")
+    parser.add_argument("--baseline", default=None, metavar="PATH",
+                        help="committed artifact to compare against "
+                        "(default: benchmarks/results/BENCH_<bench>.json "
+                        "for the fresh artifact's bench name)")
+    parser.add_argument("--tolerance", type=float, default=0.05,
+                        help="allowed relative drift per metric, default 0.05")
+    parser.add_argument("--ignore-params", default="", metavar="K1,K2",
+                        help="comma-separated param keys excluded from the "
+                        "comparability check")
+    args = parser.parse_args(argv)
+
+    ignore = tuple(k for k in args.ignore_params.split(",") if k)
+    try:
+        fresh = load_bench_artifact(args.fresh)
+        baseline_path = (
+            Path(args.baseline)
+            if args.baseline is not None
+            else default_artifact_path(fresh["bench"])
+        )
+        if not baseline_path.exists():
+            print(
+                f"error: no committed baseline at {baseline_path} — commit "
+                f"one first (copy the fresh artifact once it is trusted)",
+                file=sys.stderr,
+            )
+            return 2
+        baseline = load_bench_artifact(baseline_path)
+        regressions = compare_artifacts(
+            baseline, fresh, tolerance=args.tolerance, ignore_params=ignore
+        )
+    except ParamsMismatch as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    gated = sorted(
+        name
+        for name, value in baseline.get("metrics", {}).items()
+        if metric_direction(name) is not None
+        and isinstance(value, (int, float))
+    )
+    print(
+        f"{baseline['bench']}: {len(gated)} gated metric(s) vs "
+        f"{baseline_path} at {args.tolerance:.0%} tolerance"
+    )
+    for name in gated:
+        base = baseline["metrics"][name]
+        now = fresh.get("metrics", {}).get(name, float("nan"))
+        arrow = {"higher": ">=", "lower": "<="}[metric_direction(name)]
+        print(f"  {name}: {base:g} -> {now:g} (want {arrow} within tolerance)")
+    if regressions:
+        for r in regressions:
+            print(f"regression: {r}", file=sys.stderr)
+        return 1
+    print("ok: no out-of-tolerance perf regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -96,6 +96,16 @@ class RunConfig:
     # -- streaming graphs (repro.stream) -------------------------------- #
     stream_updates: bool = False  # serve over a DeltaCSR accepting edge churn
     compaction_threshold: float = 0.25  # delta-log fraction of nnz that compacts
+    # -- serving fleet (repro.serve.cluster) ----------------------------- #
+    replicas: int = 1  # initial serving fleet size; 1 = single ServingEngine
+    router: str = "direct"  # fleet routing policy (repro.serve.ROUTERS key)
+    shed_policy: str = "none"  # admission control: none | queue | deadline
+    shed_queue_depth: int = 64  # per-replica queue bound for shed_policy="queue"
+    shed_deadline: float = 0.0  # staleness bound (s) for shed_policy="deadline"
+    slo_p99: float = 0.0  # p99 latency SLO (s) driving the autoscaler; 0 = off
+    autoscale_min: int = 1  # autoscaler replica-count floor
+    autoscale_max: int = 8  # autoscaler replica-count ceiling
+    autoscale_interval: float = 0.01  # seconds of sim time per autoscaler window
 
     def __post_init__(self) -> None:
         if isinstance(self.fanout, list):
@@ -171,6 +181,40 @@ class RunConfig:
                 "compaction_threshold must be positive (the delta-log size, "
                 "as a fraction of the base nnz, at which the streaming "
                 "overlay compacts into a fresh CSR)"
+            )
+        # Fleet knobs: import locally — repro.serve imports repro.api.
+        from ..serve.admission import SHED_POLICIES
+        from ..serve.router import ROUTERS
+
+        if self.replicas <= 0:
+            raise ValueError("replicas must be positive")
+        if self.router not in ROUTERS:
+            raise ValueError(
+                f"unknown router {self.router!r}; known routers: "
+                f"{', '.join(sorted(ROUTERS))}"
+            )
+        if self.shed_policy not in SHED_POLICIES:
+            raise ValueError(
+                f"unknown shed policy {self.shed_policy!r}; known policies: "
+                f"{', '.join(SHED_POLICIES)}"
+            )
+        if self.shed_queue_depth <= 0:
+            raise ValueError("shed_queue_depth must be positive")
+        if self.shed_deadline < 0:
+            raise ValueError("shed_deadline must be non-negative seconds")
+        if self.slo_p99 < 0:
+            raise ValueError("slo_p99 must be non-negative seconds (0 = off)")
+        if not (1 <= self.autoscale_min <= self.autoscale_max):
+            raise ValueError(
+                f"need 1 <= autoscale_min <= autoscale_max, got "
+                f"[{self.autoscale_min}, {self.autoscale_max}]"
+            )
+        if self.autoscale_interval <= 0:
+            raise ValueError("autoscale_interval must be positive seconds")
+        if self.slo_p99 > 0 and self.replicas > self.autoscale_max:
+            raise ValueError(
+                "initial replicas exceed autoscale_max; raise the ceiling "
+                "or start smaller"
             )
 
     # ------------------------------------------------------------------ #

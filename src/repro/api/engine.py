@@ -186,9 +186,17 @@ class Engine:
         *,
         fanout: Sequence[int] | None = None,
         stream: bool | None = None,
+        fleet: bool | None = None,
     ):
-        """Build a :class:`~repro.serve.ServingEngine` over this engine's
-        graph and (current) model weights.
+        """Build a server over this engine's graph and (current) weights.
+
+        Returns a single-server :class:`~repro.serve.ServingEngine`, or a
+        :class:`~repro.serve.ServingCluster` when the config asks for a
+        fleet — ``replicas > 1``, a non-``direct`` router, admission
+        control, or a p99 SLO (autoscaling).  ``fleet`` forces the choice
+        either way; both expose the same ``process(workload)`` →
+        :class:`~repro.serve.ServeReport` surface, and an N=1 cluster is
+        bit-identical to the engine.
 
         ``fanout=None`` (default) serves exact full-neighborhood logits —
         bit-identical to :func:`~repro.pipeline.layerwise_inference` — and
@@ -202,25 +210,34 @@ class Engine:
         ``stream`` (default ``config.stream_updates``) wraps the graph in
         a :class:`~repro.stream.StreamingGraph` so the server accepts
         :class:`~repro.stream.UpdateStream` workloads — edge churn applied
-        between micro-batches, delta-log compaction at
-        ``config.compaction_threshold``, and dirty-vertex invalidation of
-        the embedding cache.  Note the StreamingGraph mutates this
-        engine's ``graph.adj`` in place as updates land (serving tracks
-        the *current* graph by design).
+        between micro-batches (broadcast to every replica in a fleet),
+        delta-log compaction at ``config.compaction_threshold``, and
+        dirty-vertex invalidation of the embedding cache.  Note the
+        StreamingGraph mutates this engine's ``graph.adj`` in place as
+        updates land (serving tracks the *current* graph by design).
         """
-        from ..serve import ServingEngine
+        from ..serve import ServingCluster, ServingEngine
 
+        cfg = self.config
+        if fleet is None:
+            fleet = (
+                cfg.replicas > 1
+                or cfg.router != "direct"
+                or cfg.shed_policy != "none"
+                or cfg.slo_p99 > 0
+            )
         if stream is None:
-            stream = self.config.stream_updates
+            stream = cfg.stream_updates
         streaming_graph = None
         if stream:
             from ..stream import StreamingGraph
 
             streaming_graph = StreamingGraph(
                 self.graph,
-                compaction_threshold=self.config.compaction_threshold,
+                compaction_threshold=cfg.compaction_threshold,
             )
-        return ServingEngine(
-            self.model, self.graph, self.config, fanout=fanout,
+        server_cls = ServingCluster if fleet else ServingEngine
+        return server_cls(
+            self.model, self.graph, cfg, fanout=fanout,
             stream=streaming_graph,
         )

@@ -9,6 +9,13 @@ from .artifact import (
     write_bench_artifact,
 )
 from .harness import SIM_WORKLOADS, BenchWorkload, load_bench_graph, run_pipeline_epoch
+from .regression import (
+    ParamsMismatch,
+    Regression,
+    compare_artifact_files,
+    compare_artifacts,
+    metric_direction,
+)
 from .reporting import (
     format_latency_summary,
     format_series,
@@ -34,4 +41,9 @@ __all__ = [
     "default_artifact_path",
     "load_bench_artifact",
     "write_bench_artifact",
+    "Regression",
+    "ParamsMismatch",
+    "metric_direction",
+    "compare_artifacts",
+    "compare_artifact_files",
 ]

@@ -38,6 +38,9 @@ _TRAIN_OVERRIDES = (
     "cache_budget", "cache_policy", "overlap", "activation",
     "serve_batch_size", "serve_max_wait", "embed_budget",
     "compaction_threshold",
+    "replicas", "router", "shed_policy", "shed_queue_depth",
+    "shed_deadline", "slo_p99", "autoscale_min", "autoscale_max",
+    "autoscale_interval",
 )
 
 
@@ -169,7 +172,8 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--epochs", type=int, default=None,
                      help="training epochs before serving, default 1")
     srv.add_argument("--sampler", default=None, choices=samplers)
-    srv.add_argument("--kernel", default=None, choices=kernels)
+    srv.add_argument("--kernel", default=None, choices=kernels,
+                     help="sparse-kernel backend, default esc")
     srv.add_argument("--fanout", default=None, metavar="N,N,...",
                      help="model fanout during training; serving itself "
                      "always uses exact full neighborhoods")
@@ -188,6 +192,36 @@ def build_parser() -> argparse.ArgumentParser:
                      dest="embed_budget", metavar="BYTES",
                      help="embedding-cache budget for hot penultimate-layer "
                      "rows (default 0 = off)")
+    srv.add_argument("--replicas", type=int, default=None,
+                     help="serving fleet size, default 1 (>1 builds a "
+                     "routed ServingCluster)")
+    srv.add_argument("--router", default=None,
+                     choices=["direct", "round_robin", "consistent_hash"],
+                     help="fleet routing policy, default direct")
+    srv.add_argument("--shed-policy", default=None, dest="shed_policy",
+                     choices=["none", "queue", "deadline"],
+                     help="admission control: shed on per-replica queue "
+                     "depth or request deadline, default none")
+    srv.add_argument("--shed-queue-depth", type=int, default=None,
+                     dest="shed_queue_depth", metavar="N",
+                     help="per-replica queue bound for --shed-policy queue, "
+                     "default 64")
+    srv.add_argument("--shed-deadline", type=float, default=None,
+                     dest="shed_deadline", metavar="SECONDS",
+                     help="staleness bound for --shed-policy deadline")
+    srv.add_argument("--slo-p99", type=float, default=None, dest="slo_p99",
+                     metavar="SECONDS",
+                     help="p99 latency SLO driving the autoscaler "
+                     "(default 0 = autoscaling off)")
+    srv.add_argument("--autoscale-min", type=int, default=None,
+                     dest="autoscale_min", metavar="N",
+                     help="autoscaler replica floor, default 1")
+    srv.add_argument("--autoscale-max", type=int, default=None,
+                     dest="autoscale_max", metavar="N",
+                     help="autoscaler replica ceiling, default 8")
+    srv.add_argument("--autoscale-interval", type=float, default=None,
+                     dest="autoscale_interval", metavar="SECONDS",
+                     help="autoscaler evaluation window, default 0.01")
 
     stm = sub.add_parser(
         "stream",
@@ -227,7 +261,8 @@ def build_parser() -> argparse.ArgumentParser:
     stm.add_argument("--epochs", type=int, default=None,
                      help="training epochs before serving, default 1")
     stm.add_argument("--sampler", default=None, choices=samplers)
-    stm.add_argument("--kernel", default=None, choices=kernels)
+    stm.add_argument("--kernel", default=None, choices=kernels,
+                     help="sparse-kernel backend, default esc")
     stm.add_argument("--fanout", default=None, metavar="N,N,...",
                      help="model fanout during training; streaming serving "
                      "always uses exact full neighborhoods")
@@ -418,6 +453,15 @@ def _cmd_serve(args) -> int:
               f"embed_budget={cfg.embed_budget:.0f}")
         engine.train(cfg.epochs)
         server = engine.serving()
+        from repro.serve import ServingCluster
+
+        if isinstance(server, ServingCluster):
+            line = (f"fleet: {cfg.replicas} replica(s), router "
+                    f"{cfg.router}, shed_policy {cfg.shed_policy}")
+            if cfg.slo_p99 > 0:
+                line += (f", autoscaling to p99<={cfg.slo_p99:g}s in "
+                         f"[{cfg.autoscale_min}, {cfg.autoscale_max}]")
+            print(line)
         if args.requests is not None:
             workload = load_trace(args.requests)
         else:
@@ -439,6 +483,16 @@ def _cmd_serve(args) -> int:
     if report.cache_stats is not None:
         line += f"  embed-cache hit-rate: {report.cache_stats.hit_rate:.2%}"
     print(line)
+    if report.per_replica:
+        spread = "  ".join(
+            f"r{rid}:{n}" for rid, n in sorted(report.per_replica.items())
+        )
+        print(f"per-replica requests: {spread}")
+    if report.shed:
+        print(f"shed requests: {report.shed}")
+    if len(report.replica_trace) > 1:
+        steps = " -> ".join(str(n) for _, n in report.replica_trace)
+        print(f"autoscaler replica trace: {steps}")
     phases = "  ".join(
         f"{ph} {s:.6f}s" for ph, s in sorted(report.phase_seconds.items())
     )

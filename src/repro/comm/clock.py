@@ -108,3 +108,28 @@ class SimClock:
         """Zero every clock and all phase accounting."""
         self._time = [0.0] * self.world_size
         self._phase_time.clear()
+
+    @classmethod
+    def merged(cls, clocks: Sequence["SimClock"]) -> "SimClock":
+        """Concatenate per-server clocks into one fleet-wide clock.
+
+        Each input clock's ranks become consecutive ranks of the merged
+        clock, so :meth:`elapsed` is the fleet makespan and
+        :meth:`breakdown` reports each phase as the *slowest server's*
+        seconds — the same max-over-participants convention the
+        bulk-synchronous phase reporting uses.
+        """
+        if not clocks:
+            raise ValueError("need at least one clock to merge")
+        total = sum(c.world_size for c in clocks)
+        merged = cls(total)
+        offset = 0
+        for c in clocks:
+            for r in range(c.world_size):
+                merged._time[offset + r] = c._time[r]
+            for key, per_rank in c._phase_time.items():
+                slot = merged._phase_time[key]
+                for r, dt in enumerate(per_rank):
+                    slot[offset + r] = dt
+            offset += c.world_size
+        return merged

@@ -18,11 +18,29 @@ Quickstart::
         ClosedLoopWorkload(64, engine.graph.test_idx, clients=8)
     )
     print(report.latency_summary(), report.throughput)
+
+Fleet serving (N replicas, routed, SLO-autoscaled) layers a
+:class:`ServingCluster` over the same :class:`Replica` core::
+
+    cfg = RunConfig(..., replicas=4, router="consistent_hash", slo_p99=2e-4)
+    fleet = Engine(cfg).serving()        # a ServingCluster now
+    report = fleet.process(ClosedLoopWorkload(4096, targets, clients=64))
 """
 
+from .admission import AdmissionController, SHED_POLICIES
 from .cache import EmbeddingCache, ServeStats
+from .cluster import Autoscaler, ServingCluster
 from .engine import ServeReport, ServingEngine
+from .replica import Replica
 from .request import InferenceRequest, InferenceResult, MicroBatcher, RequestQueue
+from .router import (
+    ConsistentHashRouter,
+    DirectRouter,
+    ROUTERS,
+    RoundRobinRouter,
+    Router,
+    make_router,
+)
 from .workload import ClosedLoopWorkload, TraceWorkload, load_trace, save_trace
 
 __all__ = [
@@ -34,6 +52,17 @@ __all__ = [
     "ServeStats",
     "ServingEngine",
     "ServeReport",
+    "Replica",
+    "Router",
+    "DirectRouter",
+    "RoundRobinRouter",
+    "ConsistentHashRouter",
+    "ROUTERS",
+    "make_router",
+    "AdmissionController",
+    "SHED_POLICIES",
+    "ServingCluster",
+    "Autoscaler",
     "TraceWorkload",
     "ClosedLoopWorkload",
     "load_trace",

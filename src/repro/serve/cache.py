@@ -37,6 +37,9 @@ class ServeStats:
     ``invalidations`` counts rows dropped through :meth:`EmbeddingCache.invalidate`
     (graph updates dirtying cached values) — deliberately separate from
     ``evictions`` so budget pressure and update churn are distinguishable.
+    ``shed`` counts inference requests this server's
+    :class:`~repro.serve.admission.AdmissionController` refused (fleet
+    serving only; always 0 under ``shed_policy="none"``).
     """
 
     requests: int = 0
@@ -45,6 +48,7 @@ class ServeStats:
     inserts: int = 0
     evictions: int = 0
     invalidations: int = 0
+    shed: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -58,6 +62,7 @@ class ServeStats:
         self.inserts = 0
         self.evictions = 0
         self.invalidations = 0
+        self.shed = 0
 
 
 class EmbeddingCache:

@@ -11,6 +11,12 @@ the paper's bulk-amortization argument replayed at serving time: one
 micro-batch costs one plan's worth of kernel launches no matter how many
 requests share it.
 
+The compute itself lives in :class:`~repro.serve.replica.Replica` — the
+engine is the *control loop* for exactly one replica: it owns the workload
+queue, decides dispatch times, and interleaves streaming graph updates.
+(The multi-replica control loop over the same Replica core is
+:class:`~repro.serve.cluster.ServingCluster`.)
+
 Two serving modes:
 
 * **exact** (default, ``fanout=None``) — every hop keeps the *full*
@@ -47,20 +53,16 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Sequence
 
 import numpy as np
 
-from ..comm.clock import SimClock
-from ..comm.cost_model import CostModel, payload_nbytes
-from ..core.compile import ProbCache, optimize
-from ..core.sage_sampler import SageSampler
-from ..sparse.kernels import get_kernel
 from ..gnn.model import GNNModel
 from ..graphs import Graph
-from .cache import EmbeddingCache, ServeStats
-from .request import InferenceRequest, InferenceResult, MicroBatcher, RequestQueue
+from .cache import ServeStats
+from .replica import Replica
+from .request import InferenceRequest, InferenceResult, RequestQueue
 
 __all__ = ["ServingEngine", "ServeReport"]
 
@@ -77,6 +79,12 @@ class ServeReport:
     # Streaming runs only: snapshot of the StreamingGraph's counters
     # (update batches, applied/skipped edits, compactions, dirty vertices).
     update_stats: object | None = None
+    # Fleet runs only: requests dropped by admission control, replica
+    # counts over time ([(sim_time, n_replicas)] autoscaler trace), and
+    # per-replica request counts keyed by replica id.
+    shed: int = 0
+    replica_trace: list[tuple[float, int]] = field(default_factory=list)
+    per_replica: dict[int, int] = field(default_factory=dict)
 
     @property
     def n_requests(self) -> int:
@@ -138,23 +146,11 @@ class ServeReport:
             out["embed_hit"] = f"{self.cache_stats.hit_rate:.1%}"
             if self.cache_stats.invalidations:
                 out["invalidated"] = self.cache_stats.invalidations
+        if self.shed:
+            out["shed"] = self.shed
         if self.update_stats is not None:
             out.update(self.update_stats.row())
         return out
-
-
-def _conv_in_dim(conv) -> int:
-    for key in ("W", "W_neigh"):
-        if key in conv.params:
-            return conv.params[key].shape[0]
-    raise TypeError(f"cannot infer input width of {type(conv).__name__}")
-
-
-def _conv_out_dim(conv) -> int:
-    for key in ("W", "W_neigh"):
-        if key in conv.params:
-            return conv.params[key].shape[1]
-    raise TypeError(f"cannot infer output width of {type(conv).__name__}")
 
 
 class ServingEngine:
@@ -165,6 +161,10 @@ class ServingEngine:
     model and the seed.  ``fanout=None`` selects the exact full-neighborhood
     mode; a tuple of per-layer counts selects sampled serving through the
     configured sampler (its length must match the model depth).
+
+    The engine is the single-server control loop over one
+    :class:`~repro.serve.replica.Replica`; compute, caches and the phase
+    clock live on the replica and are re-exported here for compatibility.
     """
 
     def __init__(
@@ -178,62 +178,56 @@ class ServingEngine:
     ) -> None:
         if stream is not None:
             graph = stream.graph
-        if graph.features is None:
-            raise ValueError("serving needs node features")
-        self.model = model
-        self.graph = graph
         self.stream = stream
-        self.config = config
-        self.clock = SimClock(1)
-        self.cost = CostModel(config.machine)
-        self.exact = fanout is None
-        n_layers = model.n_layers
-        self._dims = [_conv_in_dim(c) for c in model.convs] + [
-            _conv_out_dim(model.convs[-1])
-        ]
-        if self.exact:
-            self.fanout = self._full_fanout()
-            # Exactness needs the node-wise full-expansion plan: every dst
-            # keeps its whole neighborhood and joins its own frontier.
-            self.sampler = SageSampler(include_dst=True, kernel=config.kernel)
-        else:
-            fanout = tuple(int(s) for s in fanout)
-            if len(fanout) != n_layers:
-                raise ValueError(
-                    f"serving fanout {fanout} has {len(fanout)} entries for "
-                    f"a {n_layers}-layer model"
-                )
-            self.fanout = fanout
-            from ..api.registries import make_sampler
+        self.replica = Replica(model, graph, config, fanout=fanout)
 
-            self.sampler = make_sampler(
-                config.sampler, graph=graph, for_training=True,
-                kernel=config.kernel,
-            )
-        # A compiled kernel backend (compiles_plans) runs fused plans and
-        # can reuse probability matrices across micro-batches that share a
-        # frontier — the serving-side payoff of the plan compiler.
-        self._compiled = getattr(
-            get_kernel(config.kernel), "compiles_plans", False
-        )
-        self.prob_cache: ProbCache | None = (
-            ProbCache() if self._compiled else None
-        )
-        self.cache: EmbeddingCache | None = None
-        if self.exact and n_layers > 1 and config.embed_budget > 0:
-            self.cache = EmbeddingCache(
-                graph.n, self._dims[-2], budget_bytes=config.embed_budget
-            )
-        self.batcher = MicroBatcher(config.serve_batch_size, config.serve_max_wait)
+    # ------------------------------------------------------------------ #
+    # Compatibility surface: the pre-fleet engine exposed its internals
+    # directly; tests, benchmarks and examples reach for these.
+    # ------------------------------------------------------------------ #
+    @property
+    def model(self):
+        return self.replica.model
 
-    def _full_fanout(self) -> tuple[int, ...]:
-        """The per-layer count that keeps every neighborhood whole.
+    @property
+    def graph(self):
+        return self.replica.graph
 
-        Recomputed after each graph update: an insertion can raise the max
-        in-degree, and exactness requires the SAMPLE cap to stay above it.
-        """
-        full = max(1, int(self.graph.adj.nnz_per_row().max()))
-        return (full,) * self.model.n_layers
+    @property
+    def config(self):
+        return self.replica.config
+
+    @property
+    def clock(self):
+        return self.replica.clock
+
+    @property
+    def cost(self):
+        return self.replica.cost
+
+    @property
+    def exact(self) -> bool:
+        return self.replica.exact
+
+    @property
+    def fanout(self):
+        return self.replica.fanout
+
+    @property
+    def sampler(self):
+        return self.replica.sampler
+
+    @property
+    def prob_cache(self):
+        return self.replica.prob_cache
+
+    @property
+    def cache(self):
+        return self.replica.cache
+
+    @property
+    def batcher(self):
+        return self.replica.batcher
 
     # ------------------------------------------------------------------ #
     # Graph updates (streaming serving)
@@ -242,10 +236,10 @@ class ServingEngine:
         """Apply one :class:`~repro.stream.EdgeBatch`; returns sim seconds.
 
         Runs the full protocol: absorb the batch into the delta log (and
-        maybe compact), refresh the exact-mode fanout, and invalidate every
-        cached embedding row the change can reach (``dirty_closure`` at
-        depth ``L - 2`` on the post-update adjacency).  All of it is
-        charged to the clock under the ``graph_update`` phase.
+        maybe compact) — once, on the shared :class:`StreamingGraph` — then
+        have the replica absorb the result: refresh the exact-mode fanout,
+        drop stale probability matrices, and invalidate reachable cached
+        embeddings, all charged to the clock under ``graph_update``.
         """
         if self.stream is None:
             raise ValueError(
@@ -253,172 +247,8 @@ class ServingEngine:
                 "StreamingGraph (Engine.serving with stream_updates=True) "
                 "to apply edge updates"
             )
-        from ..stream.graph import dirty_closure
-
-        before = self.clock.time(0)
-        with self.clock.phase("graph_update"):
-            result = self.stream.apply(batch)
-            cost = result.sim_cost
-            # Log absorb + dirty-row re-merge: hash/searchsorted per edge,
-            # then a splice that rewrites the merged rows (16B/entry, r+w).
-            self.clock.advance(
-                0,
-                self.cost.compute(
-                    flops=64.0 * cost.get("batch_edges", 0.0),
-                    nbytes=24.0 * cost.get("batch_edges", 0.0)
-                    + 32.0 * cost.get("merged_nnz", 0.0),
-                    kernels=2,
-                ),
-                "compute",
-            )
-            if result.compacted:
-                # Compaction re-canonicalizes the full matrix: a global
-                # sort (n log n flops) plus one read+write of every entry.
-                nnz = cost.get("compacted_nnz", 0.0)
-                self.clock.advance(
-                    0,
-                    self.cost.compute(
-                        flops=8.0 * nnz * max(1.0, np.log2(max(nnz, 2.0))),
-                        nbytes=32.0 * nnz,
-                        kernels=4,
-                    ),
-                    "compute",
-                )
-            if self.exact:
-                self.fanout = self._full_fanout()
-            if self.prob_cache is not None:
-                # Cached probability matrices were computed on the old
-                # adjacency; every one of them is stale now.
-                self.prob_cache.clear()
-            if self.cache is not None and result.dirty_rows.size:
-                stale = dirty_closure(
-                    self.graph.adj, result.dirty_rows, self.model.n_layers - 2
-                )
-                dropped = self.cache.invalidate(stale)
-                if dropped:
-                    self.clock.advance(
-                        0,
-                        self.cost.compute(
-                            nbytes=self.cache.row_bytes * dropped, kernels=1
-                        ),
-                        "compute",
-                    )
-        return self.clock.time(0) - before
-
-    # ------------------------------------------------------------------ #
-    # Cost accounting helpers
-    # ------------------------------------------------------------------ #
-    def _sample_bulk(self, batches, fanout, rng):
-        """The engine's one bulk-sampling call site.
-
-        Threads the probability cache through when the configured kernel
-        compiles plans; interpreted backends get the plain call (their
-        ``sample_bulk`` may be an override without the keyword).
-        """
-        if self.prob_cache is not None:
-            return self.sampler.sample_bulk(
-                self.graph.adj, batches, fanout, rng,
-                prob_cache=self.prob_cache,
-            )
-        return self.sampler.sample_bulk(self.graph.adj, batches, fanout, rng)
-
-    def _charge_sampling(self, layers) -> None:
-        """One plan execution: fixed kernel launches + size-scaled work.
-
-        The kernel count comes from the emitted plan (4 steps per layer for
-        the node-wise program, 2 after the plan compiler fuses PROB+NORM
-        and SAMPLE+EXTRACT), *not* from the number of coalesced requests —
-        that independence is the micro-batching amortization.
-        """
-        program = self.sampler.plan(tuple(self.fanout[: len(layers)]))
-        if program is not None and self._compiled:
-            program = optimize(program)
-        kernels = len(program.steps) if program is not None else 4 * len(layers)
-        edges = sum(layer.adj.nnz for layer in layers)
-        nbytes = 2.0 * payload_nbytes([layer.adj for layer in layers])
-        self.clock.advance(
-            0, self.cost.compute(flops=6.0 * edges, nbytes=nbytes, kernels=kernels),
-            "compute",
-        )
-
-    def _charge_forward(self, layers, dims) -> None:
-        """Forward pass roofline: SpMM + dense transform per layer."""
-        flops = 0.0
-        nbytes = 0.0
-        for layer, f_in, f_out in zip(layers, dims[:-1], dims[1:]):
-            flops += 2.0 * layer.adj.nnz * f_in
-            flops += 2.0 * layer.n_dst * f_in * f_out
-            nbytes += 8.0 * (layer.n_src * f_in + layer.n_dst * f_out)
-        self.clock.advance(
-            0,
-            self.cost.compute(flops=flops, nbytes=nbytes, kernels=2 * len(layers)),
-            "compute",
-        )
-
-    # ------------------------------------------------------------------ #
-    # The forward computation
-    # ------------------------------------------------------------------ #
-    def _infer_chain(self, layers, h: np.ndarray, first_conv: int) -> np.ndarray:
-        """Run ``layers`` through convs[first_conv:...] with activations."""
-        model = self.model
-        for offset, layer in enumerate(layers):
-            i = first_conv + offset
-            h = model.convs[i].infer(layer, h)
-            if i < model.n_layers - 1:
-                h = model.acts[i].apply(h)
-        return h
-
-    def _logits_for(self, targets: np.ndarray, rng: np.random.Generator) -> np.ndarray:
-        """Logits rows for (sorted, unique) ``targets``, with cost charging."""
-        model, graph = self.model, self.graph
-        n_layers = model.n_layers
-        if self.cache is None:
-            with self.clock.phase("sampling"):
-                sample = self._sample_bulk([targets], self.fanout, rng)[0]
-                self._charge_sampling(sample.layers)
-            with self.clock.phase("propagation"):
-                h = graph.features[sample.input_frontier]
-                logits = self._infer_chain(sample.layers, h, 0)
-                self._charge_forward(sample.layers, self._dims)
-            return logits
-        # Cached path: the final hop is sampled for the whole frontier, but
-        # the deep (L-1)-layer expansion only runs for cache *misses*.
-        with self.clock.phase("sampling"):
-            outer = self._sample_bulk([targets], self.fanout[-1:], rng)[0]
-            self._charge_sampling(outer.layers)
-        layer_last = outer.layers[0]
-        frontier = layer_last.src_ids
-        with self.clock.phase("embedding_cache"):
-            mask, hit_rows = self.cache.lookup(frontier)
-            n_hits = int(mask.sum())
-            if n_hits:
-                self.clock.advance(
-                    0,
-                    self.cost.compute(
-                        nbytes=2.0 * self.cache.row_bytes * n_hits, kernels=1
-                    ),
-                    "compute",
-                )
-        h_frontier = np.empty((frontier.size, self._dims[-2]))
-        misses = frontier[~mask]
-        if misses.size:
-            with self.clock.phase("sampling"):
-                inner = self._sample_bulk(
-                    [misses], self.fanout[: n_layers - 1], rng
-                )[0]
-                self._charge_sampling(inner.layers)
-            with self.clock.phase("propagation"):
-                h = graph.features[inner.input_frontier]
-                h_miss = self._infer_chain(inner.layers, h, 0)
-                self._charge_forward(inner.layers, self._dims[:-1])
-            h_frontier[~mask] = h_miss
-            self.cache.insert(misses, h_miss)
-        if n_hits:
-            h_frontier[mask] = hit_rows
-        with self.clock.phase("propagation"):
-            logits = model.convs[-1].infer(layer_last, h_frontier)
-            self._charge_forward([layer_last], self._dims[-2:])
-        return logits
+        result = self.stream.apply(batch)
+        return self.replica.absorb_update(result)
 
     # ------------------------------------------------------------------ #
     # Serving entry points
@@ -430,35 +260,8 @@ class ServingEngine:
         rng = np.random.default_rng(
             np.random.SeedSequence([self.config.seed, 401])
         )
-        logits = self._logits_for(targets, rng)
+        logits = self.replica.logits_for(targets, rng)
         return logits[np.searchsorted(targets, vertices)]
-
-    def _serve_batch(
-        self,
-        batch: list[InferenceRequest],
-        dispatched: float,
-        batch_index: int,
-    ) -> list[InferenceResult]:
-        """Serve one micro-batch; returns one result per member request."""
-        targets = np.unique(np.concatenate([r.vertices for r in batch]))
-        rng = np.random.default_rng(
-            np.random.SeedSequence([self.config.seed, 401, batch_index])
-        )
-        before = self.clock.time(0)
-        logits = self._logits_for(targets, rng)
-        service = self.clock.time(0) - before
-        completed = dispatched + service
-        return [
-            InferenceResult(
-                request=req,
-                logits=logits[np.searchsorted(targets, req.vertices)],
-                dispatched=dispatched,
-                completed=completed,
-                batch_index=batch_index,
-                batch_size=len(batch),
-            )
-            for req in batch
-        ]
 
     def process(self, workload) -> ServeReport:
         """Run a workload to exhaustion under the micro-batching policy.
@@ -477,9 +280,10 @@ class ServingEngine:
         hit/miss counters reset on entry (cached rows and LFU frequencies
         persist across calls, like the feature cache across epochs).
         """
-        self.clock.reset()
-        if self.cache is not None:
-            self.cache.stats.reset()
+        rep = self.replica
+        rep.clock.reset()
+        if rep.cache is not None:
+            rep.cache.stats.reset()
         updates = list(workload.updates()) if hasattr(workload, "updates") else []
         if updates and self.stream is None:
             raise ValueError(
@@ -495,7 +299,7 @@ class ServingEngine:
         batch_index = 0
         next_update = 0
         while True:
-            dispatch = self.batcher.next_dispatch(queue, free)
+            dispatch = rep.batcher.next_dispatch(queue, free)
             if dispatch is None:
                 if next_update < len(updates):
                     # Requests drained first: apply the remaining churn.
@@ -515,7 +319,7 @@ class ServingEngine:
                 free = at + self.apply_update(updates[next_update])
                 next_update += 1
                 continue
-            batch_results = self._serve_batch(batch, t, batch_index)
+            batch_results = rep.serve_batch(batch, t, batch_index)
             free = batch_results[0].completed
             results.extend(batch_results)
             for result in batch_results:
@@ -526,14 +330,14 @@ class ServingEngine:
         return ServeReport(
             results=results,
             batches=batch_index,
-            phase_seconds=self.clock.breakdown(),
+            phase_seconds=rep.clock.breakdown(),
             # Snapshot, so a later process() reset can't mutate this report.
             cache_stats=(
-                dataclasses.replace(self.cache.stats)
-                if self.cache is not None
+                dataclasses.replace(rep.cache.stats)
+                if rep.cache is not None
                 else None
             ),
-            exact=self.exact,
+            exact=rep.exact,
             update_stats=(
                 dataclasses.replace(self.stream.stats)
                 if self.stream is not None and updates

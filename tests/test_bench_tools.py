@@ -251,3 +251,221 @@ class TestBenchArtifacts:
         for path in committed:
             data = load_bench_artifact(path)
             assert data["bench"]
+
+
+def _artifact(metrics, params=None, bench="demo"):
+    return {
+        "bench": bench,
+        "params": params if params is not None else {"scale": 0.1},
+        "metrics": metrics,
+        "rows": [],
+    }
+
+
+class TestMetricDirection:
+    def test_classification(self):
+        from repro.bench import metric_direction
+
+        assert metric_direction("serve_req_per_s") == "higher"
+        assert metric_direction("fleet_speedup_vs_single") == "higher"
+        assert metric_direction("cache_hit_rate") == "higher"
+        assert metric_direction("p99_ms") == "lower"
+        assert metric_direction("makespan") == "lower"
+        assert metric_direction("update_latency") == "lower"
+        assert metric_direction("autoscale_final_replicas") is None
+
+    def test_higher_better_fragments_win_ties(self):
+        from repro.bench import metric_direction
+
+        # "p99" alone is lower-better, but a speedup derived from it is a
+        # ratio where up is good — first-match-wins keeps that sane.
+        assert metric_direction("p99_speedup") == "higher"
+
+
+class TestCompareArtifacts:
+    def test_identical_artifacts_pass(self):
+        from repro.bench import compare_artifacts
+
+        a = _artifact({"req_per_s": 100.0, "p99_ms": 2.0})
+        assert compare_artifacts(a, a) == []
+
+    def test_throughput_drop_is_a_regression(self):
+        from repro.bench import compare_artifacts
+
+        base = _artifact({"req_per_s": 100.0})
+        fresh = _artifact({"req_per_s": 90.0})
+        regs = compare_artifacts(base, fresh, tolerance=0.05)
+        assert len(regs) == 1
+        assert regs[0].metric == "req_per_s"
+        assert "dropped" in str(regs[0])
+
+    def test_latency_rise_is_a_regression(self):
+        from repro.bench import compare_artifacts
+
+        base = _artifact({"p99_ms": 2.0})
+        fresh = _artifact({"p99_ms": 2.5})
+        regs = compare_artifacts(base, fresh, tolerance=0.05)
+        assert len(regs) == 1 and "rose" in str(regs[0])
+
+    def test_drift_within_tolerance_passes(self):
+        from repro.bench import compare_artifacts
+
+        base = _artifact({"req_per_s": 100.0, "p99_ms": 2.0})
+        fresh = _artifact({"req_per_s": 96.0, "p99_ms": 2.08})
+        assert compare_artifacts(base, fresh, tolerance=0.05) == []
+
+    def test_improvements_never_flagged(self):
+        from repro.bench import compare_artifacts
+
+        base = _artifact({"req_per_s": 100.0, "p99_ms": 2.0})
+        fresh = _artifact({"req_per_s": 500.0, "p99_ms": 0.1})
+        assert compare_artifacts(base, fresh) == []
+
+    def test_informational_metrics_ignored(self):
+        from repro.bench import compare_artifacts
+
+        base = _artifact({"final_replicas": 4})
+        fresh = _artifact({"final_replicas": 1})
+        assert compare_artifacts(base, fresh) == []
+
+    def test_missing_gated_metric_fails(self):
+        from repro.bench import compare_artifacts
+
+        base = _artifact({"req_per_s": 100.0})
+        fresh = _artifact({})
+        regs = compare_artifacts(base, fresh)
+        assert len(regs) == 1 and "missing" in regs[0].metric
+
+    def test_different_bench_rejected(self):
+        from repro.bench import compare_artifacts
+
+        with pytest.raises(ValueError, match="different benches"):
+            compare_artifacts(
+                _artifact({}, bench="a"), _artifact({}, bench="b")
+            )
+
+    def test_params_mismatch_raises_and_names_keys(self):
+        from repro.bench import ParamsMismatch, compare_artifacts
+
+        base = _artifact({}, params={"clients": 64, "scale": 0.1})
+        fresh = _artifact({}, params={"clients": 128, "scale": 0.1})
+        with pytest.raises(ParamsMismatch, match="clients"):
+            compare_artifacts(base, fresh)
+
+    def test_ignore_params_excuses_the_mismatch(self):
+        from repro.bench import compare_artifacts
+
+        base = _artifact({"req_per_s": 10.0}, params={"clients": 64})
+        fresh = _artifact({"req_per_s": 10.0}, params={"clients": 128})
+        assert compare_artifacts(base, fresh, ignore_params=("clients",)) == []
+
+    def test_negative_tolerance_rejected(self):
+        from repro.bench import compare_artifacts
+
+        with pytest.raises(ValueError):
+            compare_artifacts(_artifact({}), _artifact({}), tolerance=-0.1)
+
+    def test_compare_artifact_files(self, tmp_path):
+        from repro.bench import compare_artifact_files, write_bench_artifact
+
+        base = write_bench_artifact(
+            "demo", params={"s": 1}, metrics={"req_per_s": 100.0},
+            rows=[], path=tmp_path / "base.json",
+        )
+        fresh = write_bench_artifact(
+            "demo", params={"s": 1}, metrics={"req_per_s": 50.0},
+            rows=[], path=tmp_path / "fresh.json",
+        )
+        assert len(compare_artifact_files(base, fresh)) == 1
+
+
+class TestCheckRegressionCLI:
+    """Exit-code contract of benchmarks/check_regression.py (the CI gate)."""
+
+    @pytest.fixture()
+    def gate(self):
+        import importlib.util
+        from pathlib import Path
+
+        path = (
+            Path(__file__).parent.parent / "benchmarks" / "check_regression.py"
+        )
+        spec = importlib.util.spec_from_file_location("check_regression", path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+
+    def _write(self, tmp_path, name, metrics, params=None):
+        from repro.bench import write_bench_artifact
+
+        return write_bench_artifact(
+            "gatedemo", params=params or {"s": 1}, metrics=metrics,
+            rows=[], path=tmp_path / name,
+        )
+
+    def test_exit_0_on_clean_run(self, tmp_path, gate, capsys):
+        base = self._write(tmp_path, "base.json", {"req_per_s": 100.0})
+        fresh = self._write(tmp_path, "fresh.json", {"req_per_s": 101.0})
+        rc = gate.main([str(fresh), "--baseline", str(base)])
+        assert rc == 0
+        assert "no out-of-tolerance" in capsys.readouterr().out
+
+    def test_exit_1_on_regression(self, tmp_path, gate, capsys):
+        base = self._write(tmp_path, "base.json", {"req_per_s": 100.0})
+        fresh = self._write(tmp_path, "fresh.json", {"req_per_s": 50.0})
+        rc = gate.main([str(fresh), "--baseline", str(base)])
+        assert rc == 1
+        assert "regression:" in capsys.readouterr().err
+
+    def test_exit_2_on_missing_baseline(self, tmp_path, gate, capsys):
+        fresh = self._write(tmp_path, "fresh.json", {"req_per_s": 1.0})
+        rc = gate.main(
+            [str(fresh), "--baseline", str(tmp_path / "nope.json")]
+        )
+        assert rc == 2
+        assert "no committed baseline" in capsys.readouterr().err
+
+    def test_exit_2_on_unreadable_fresh(self, tmp_path, gate):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        assert gate.main([str(bad)]) == 2
+
+    def test_exit_3_on_params_mismatch(self, tmp_path, gate, capsys):
+        base = self._write(
+            tmp_path, "base.json", {"req_per_s": 1.0}, params={"s": 1}
+        )
+        fresh = self._write(
+            tmp_path, "fresh.json", {"req_per_s": 1.0}, params={"s": 2}
+        )
+        rc = gate.main([str(fresh), "--baseline", str(base)])
+        assert rc == 3
+        assert "not comparable" in capsys.readouterr().err
+
+    def test_ignore_params_flag(self, tmp_path, gate):
+        base = self._write(
+            tmp_path, "base.json", {"req_per_s": 1.0}, params={"s": 1}
+        )
+        fresh = self._write(
+            tmp_path, "fresh.json", {"req_per_s": 1.0}, params={"s": 2}
+        )
+        rc = gate.main(
+            [str(fresh), "--baseline", str(base), "--ignore-params", "s"]
+        )
+        assert rc == 0
+
+    def test_tolerance_flag_widens_the_gate(self, tmp_path, gate):
+        base = self._write(tmp_path, "base.json", {"req_per_s": 100.0})
+        fresh = self._write(tmp_path, "fresh.json", {"req_per_s": 80.0})
+        assert gate.main([str(fresh), "--baseline", str(base)]) == 1
+        assert gate.main(
+            [str(fresh), "--baseline", str(base), "--tolerance", "0.3"]
+        ) == 0
+
+    def test_committed_fleet_artifact_gates_itself(self, gate):
+        """The committed BENCH_serving_fleet.json must pass its own gate —
+        the invariant the CI serving-fleet job relies on."""
+        from repro.bench import default_artifact_path
+
+        path = default_artifact_path("serving_fleet")
+        assert path.exists()
+        assert gate.main([str(path)]) == 0

@@ -116,6 +116,45 @@ class TestMicroBatcher:
     def test_idle_queue_returns_none(self):
         assert MicroBatcher(4).next_dispatch(RequestQueue(), 0.0) is None
 
+    def test_empty_queue_none_regardless_of_free_time(self):
+        assert MicroBatcher(4).next_dispatch(RequestQueue(), 123.0) is None
+
+    def test_zero_max_wait_flushes_on_arrival(self):
+        """max_wait=0 degenerates to dispatch-on-arrival: a lone request
+        never waits for company."""
+        q = RequestQueue()
+        for r in _requests([(0.003, [1]), (0.01, [2])]):
+            q.push(r)
+        t, batch = MicroBatcher(8, max_wait=0.0).next_dispatch(q, free_at=0.0)
+        assert t == pytest.approx(0.003)
+        assert [r.rid for r in batch] == [0]
+
+    def test_zero_max_wait_still_coalesces_while_busy(self):
+        """Even at max_wait=0, requests that accumulate behind a busy
+        server leave as one batch when it frees up."""
+        q = RequestQueue()
+        for r in _requests([(0.0, [1]), (0.001, [2]), (0.002, [3])]):
+            q.push(r)
+        t, batch = MicroBatcher(8, max_wait=0.0).next_dispatch(q, free_at=0.01)
+        assert t == pytest.approx(0.01)
+        assert [r.rid for r in batch] == [0, 1, 2]
+
+    def test_size_forced_vs_deadline_forced(self):
+        """The same arrivals dispatch at the last member's arrival when the
+        batch fills (size-forced) but at oldest+max_wait when it cannot
+        (deadline-forced)."""
+        specs = [(0.0, [1]), (0.002, [2])]
+        q = RequestQueue()
+        for r in _requests(specs):
+            q.push(r)
+        t_size, batch = MicroBatcher(2, max_wait=0.01).next_dispatch(q, 0.0)
+        assert t_size == pytest.approx(0.002) and len(batch) == 2
+        q = RequestQueue()
+        for r in _requests(specs):
+            q.push(r)
+        t_wait, batch = MicroBatcher(8, max_wait=0.01).next_dispatch(q, 0.0)
+        assert t_wait == pytest.approx(0.01) and len(batch) == 2
+
     def test_batch_size_one_is_per_request(self):
         q = RequestQueue()
         for r in _requests([(0.0, [1]), (0.0, [2])]):
