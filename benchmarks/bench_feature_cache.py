@@ -71,10 +71,20 @@ def main(argv: list[str] | None = None) -> int:
                         choices=("degree", "lfu"))
     parser.add_argument("--budgets", default="0,32000,128000",
                         help="comma-separated per-rank cache budgets (bytes)")
+    parser.add_argument("--gate", action="store_true",
+                        help="pinned regression-gate profile (fixed small "
+                        "sweep): writes BENCH_feature_cache_gate.json for "
+                        "check_regression.py; metrics are simulated, so "
+                        "the artifact is machine-independent")
     parser.add_argument("--json", default=None, metavar="PATH",
                         help="artifact path (default benchmarks/results/"
                         "BENCH_feature_cache.json); 'none' disables")
     args = parser.parse_args(argv)
+
+    if args.gate:
+        args.scale, args.budgets = 0.1, "0,32000,128000"
+        args.p, args.c, args.k, args.policy = 4, 2, 2, "degree"
+        args.batch_size, args.epochs = 16, 1
 
     budgets = [float(x) for x in args.budgets.split(",")]
     if budgets[0] != 0.0:
@@ -151,7 +161,7 @@ def main(argv: list[str] | None = None) -> int:
                 1.0 - top["pipelined_s"] / top["serial_s"]
             )
         path = write_bench_artifact(
-            "feature_cache",
+            "feature_cache_gate" if args.gate else "feature_cache",
             params={
                 "dataset": args.dataset, "scale": args.scale,
                 "p": args.p, "c": args.c, "k": args.k,

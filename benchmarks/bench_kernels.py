@@ -173,10 +173,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--smoke", action="store_true",
                         help="CI preset: log_n 11, 4 batches x 128, "
                         "fanout 64, 2 repeats")
+    parser.add_argument("--gate", action="store_true",
+                        help="pinned regression-gate profile: smoke sizes, "
+                        "compiled vs esc, artifact BENCH_kernels_gate.json "
+                        "carrying an env fingerprint (wall-clock numbers "
+                        "are machine-specific; the gate compares the "
+                        "speedup ratios)")
     parser.add_argument("--json", default=None, metavar="PATH",
                         help="artifact path (default benchmarks/results/"
                         "BENCH_kernels.json); 'none' disables")
     args = parser.parse_args(argv)
+    if args.gate:
+        args.kernel, args.baseline, args.smoke = "compiled", "esc", True
     if args.smoke:
         args.log_n, args.batches = 11, 4
         args.batch_size, args.fanout, args.repeats = 128, 64, 2
@@ -239,10 +247,11 @@ def main(argv: list[str] | None = None) -> int:
         print(f"{name:<{width}}  {tb * 1e3:8.2f}ms  {tk * 1e3:8.2f}ms  "
               f"{tb / tk:6.2f}x")
     if args.json != "none":
-        from repro.bench import write_bench_artifact
+        from repro.bench import env_fingerprint, write_bench_artifact
 
         path = write_bench_artifact(
-            "kernels",
+            "kernels_gate" if args.gate else "kernels",
+            env=env_fingerprint() if args.gate else None,
             params={
                 "kernel": args.kernel, "baseline": args.baseline,
                 "log_n": args.log_n, "degree": args.degree,

@@ -1,0 +1,252 @@
+"""Wall-clock multi-core bulk sampling: the shared-memory worker pool.
+
+Unlike the simulated figure benchmarks, this measures *real* elapsed time:
+it publishes one CSR adjacency to shared memory, spins up persistent
+worker pools of increasing size, and times the same bulk sampling pass at
+``workers`` in {1, 2, 4, 8} against the serial (``workers=0``) reference.
+Two contracts are asserted as it runs:
+
+* **bit-identity** — the sampled output digest is identical at every
+  worker count (the per-global-batch-index RNG discipline makes the
+  batch partition invisible); a mismatch is a hard failure, and
+* **speedup** — on a machine with enough cores (``os.cpu_count() >= 4``),
+  the full profile must reach > 1.5x at ``workers=4`` vs ``workers=1``
+  on at least one sampler.  On smaller machines the assert is skipped
+  loudly (a 1-core box cannot demonstrate parallel speedup; the digest
+  checks still run).
+
+The artifact (``BENCH_parallel.json``) carries an environment fingerprint
+because wall-clock numbers are machine-specific: the regression gate
+refuses to compare artifacts from different machines unless invoked with
+``--ignore-env``, which CI uses to gate the machine-portable speedup
+*ratios* only.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py          # full
+    PYTHONPATH=src python benchmarks/bench_parallel.py --smoke  # CI-sized
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import os
+import sys
+import time
+
+import numpy as np
+
+from repro.core import LadiesSampler, SageSampler
+from repro.core.bulk import batch_rng
+from repro.graphs import rmat
+
+#: (slug, sampler factory) — the swept bulk-sampling workloads.
+SAMPLER_CASES = (
+    ("sage", SageSampler),
+    ("ladies", LadiesSampler),
+)
+FANOUTS = {"sage": (10, 5), "ladies": (256,)}
+SMOKE_FANOUTS = {"sage": (4, 2), "ladies": (32,)}
+
+
+def bulk_digest(samples) -> str:
+    """Deterministic digest over every sampled layer of a bulk."""
+    h = hashlib.sha256()
+    for mb in samples:
+        h.update(np.ascontiguousarray(mb.batch, dtype=np.int64).tobytes())
+        for layer in mb.layers:
+            for arr in (
+                layer.adj.indptr, layer.adj.indices, layer.adj.data,
+                np.asarray(layer.src_ids, dtype=np.int64),
+                np.asarray(layer.dst_ids, dtype=np.int64),
+            ):
+                h.update(np.ascontiguousarray(arr).tobytes())
+            h.update(repr(layer.adj.shape).encode())
+    return h.hexdigest()
+
+
+def serial_bulk(sampler, adj, batches, fanout, seed):
+    """The workers=0 reference: same per-global-batch-index RNG streams
+    the pool workers use, so outputs must match bit for bit."""
+    rngs = [batch_rng(seed, i) for i in range(len(batches))]
+    return sampler.sample_bulk(adj, batches, fanout, rngs)
+
+
+def best_of(fn, repeats: int) -> tuple[float, object]:
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Wall-clock bulk sampling over the shared-memory "
+        "worker pool (workers sweep + bit-identity asserts)"
+    )
+    parser.add_argument("--log-n", type=int, default=14,
+                        help="rmat scale: 2^log_n vertices (default 14)")
+    parser.add_argument("--degree", type=int, default=16)
+    parser.add_argument("--batches", type=int, default=32)
+    parser.add_argument("--batch-size", type=int, default=1024)
+    parser.add_argument("--workers", default="1,2,4,8",
+                        help="comma-separated pool sizes (0 = serial is "
+                        "always measured as the reference)")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI preset: log_n 11, 8 batches x 256, "
+                        "workers 1,2,4, 1 repeat (digest asserts only — "
+                        "workloads this small cannot show speedup)")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="artifact path (default benchmarks/results/"
+                        "BENCH_parallel.json); 'none' disables")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.log_n, args.batches, args.batch_size = 11, 8, 256
+        args.workers, args.repeats = "1,2,4", 1
+
+    from repro.bench import env_fingerprint, write_bench_artifact
+    from repro.parallel import SamplerSpec, SharedGraph, WorkerPool
+
+    worker_counts = sorted({int(x) for x in args.workers.split(",")} - {0})
+    cpu = os.cpu_count() or 1
+    rng = np.random.default_rng(args.seed)
+    adj = rmat(args.log_n, args.degree, rng)
+    n = adj.shape[0]
+    batches = [
+        rng.choice(n, min(args.batch_size, n), replace=False)
+        for _ in range(args.batches)
+    ]
+    indices = list(range(len(batches)))
+    fanouts = SMOKE_FANOUTS if args.smoke else FANOUTS
+    print(f"workload: {n} vertices, {adj.nnz} edges, {args.batches} "
+          f"batches x {len(batches[0])}, cpu_count={cpu}, "
+          f"workers sweep {worker_counts}")
+
+    rows = []
+    failures = []
+    serial_ms: dict[str, float] = {}
+    digests: dict[str, str] = {}
+    for slug, factory in SAMPLER_CASES:
+        sampler = factory()
+        fanout = fanouts[slug]
+        t, samples = best_of(
+            lambda: serial_bulk(sampler, adj, batches, fanout, args.seed),
+            args.repeats,
+        )
+        serial_ms[slug] = t * 1e3
+        digests[slug] = bulk_digest(samples)
+        rows.append({"sampler": slug, "workers": 0, "wall_clock_s": t,
+                     "speedup_vs_w1": None, "digest": digests[slug][:16]})
+
+    shared = SharedGraph.publish(adj)
+    pool_ms: dict[tuple[str, int], float] = {}
+    try:
+        for workers in worker_counts:
+            with WorkerPool(workers, shared) as pool:
+                for slug, factory in SAMPLER_CASES:
+                    spec = SamplerSpec(
+                        sampler=slug, fanout=fanouts[slug],
+                        for_training=False,
+                    )
+                    pool.register(spec)
+                    # Warm attach/registration before timing.
+                    pool.sample_bulk(spec, batches[:1], [0], args.seed)
+                    t, out = best_of(
+                        lambda: pool.sample_bulk(
+                            spec, batches, indices, args.seed
+                        ),
+                        args.repeats,
+                    )
+                    samples, _totals = out
+                    pool_ms[(slug, workers)] = t * 1e3
+                    digest = bulk_digest(samples)
+                    if digest != digests[slug]:
+                        failures.append(
+                            f"{slug} at workers={workers}: digest {digest} "
+                            f"differs from serial {digests[slug]}"
+                        )
+                    rows.append({
+                        "sampler": slug, "workers": workers,
+                        "wall_clock_s": t, "speedup_vs_w1": None,
+                        "digest": digest[:16],
+                    })
+    finally:
+        shared.release()
+
+    for row in rows:
+        w = row["workers"]
+        if w and (row["sampler"], 1) in pool_ms:
+            row["speedup_vs_w1"] = (
+                pool_ms[(row["sampler"], 1)]
+                / pool_ms[(row["sampler"], w)]
+            )
+
+    width = 10
+    print(f"{'sampler':<8} {'workers':>7} {'wall ms':>{width}} "
+          f"{'vs serial':>9} {'vs w1':>7}")
+    for row in rows:
+        slug, w = row["sampler"], row["workers"]
+        ms = row["wall_clock_s"] * 1e3
+        vs_serial = serial_ms[slug] / ms
+        vs_w1 = row["speedup_vs_w1"]
+        print(f"{slug:<8} {w:>7} {ms:>{width}.2f} {vs_serial:>8.2f}x "
+              f"{'-' if vs_w1 is None else f'{vs_w1:5.2f}x'}")
+
+    best_speedup = {
+        slug: max(
+            (pool_ms[(slug, 1)] / pool_ms[(slug, w)]
+             for w in worker_counts if w >= 4 and (slug, w) in pool_ms),
+            default=0.0,
+        )
+        for slug, _ in SAMPLER_CASES
+    }
+    if not args.smoke and 4 in worker_counts:
+        if cpu >= 4:
+            if max(best_speedup.values()) <= 1.5:
+                failures.append(
+                    f"no sampler reached >1.5x at workers=4 vs workers=1 "
+                    f"on a {cpu}-core machine: {best_speedup}"
+                )
+        else:
+            print(f"SKIPPED speedup assert: only {cpu} core(s) available — "
+                  f"a parallel speedup cannot manifest here; digest "
+                  f"bit-identity was still verified at every worker count")
+
+    if failures:
+        for f in failures:
+            print(f"error: {f}", file=sys.stderr)
+        return 1
+    print("ok: sampled output bit-identical at every worker count")
+
+    if args.json != "none":
+        metrics = {}
+        for slug, _ in SAMPLER_CASES:
+            for w in worker_counts:
+                metrics[f"speedup_{slug}_w{w}"] = (
+                    pool_ms[(slug, 1)] / pool_ms[(slug, w)]
+                )
+        path = write_bench_artifact(
+            "parallel",
+            env=env_fingerprint(),
+            params={
+                "log_n": args.log_n, "degree": args.degree,
+                "batches": args.batches, "batch_size": args.batch_size,
+                "workers": worker_counts, "repeats": args.repeats,
+                "seed": args.seed, "smoke": bool(args.smoke),
+                "vertices": n, "edges": adj.nnz,
+            },
+            metrics=metrics,
+            rows=rows,
+            path=args.json,
+        )
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

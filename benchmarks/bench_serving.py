@@ -204,6 +204,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--smoke", action="store_true",
                         help="tiny sweep for CI (fewer points and requests)")
+    parser.add_argument("--gate", action="store_true",
+                        help="pinned regression-gate profile (the smoke "
+                        "sweep under fixed params): writes BENCH_serving_"
+                        "gate.json for check_regression.py; metrics are "
+                        "simulated, so the artifact is machine-independent")
     parser.add_argument("--json", default=None, metavar="PATH",
                         help="artifact path (default benchmarks/results/"
                         "BENCH_serving.json); 'none' disables")
@@ -232,6 +237,8 @@ def main(argv: list[str] | None = None) -> int:
                         "results/BENCH_serving_fleet.json); 'none' disables")
     args = parser.parse_args(argv)
 
+    if args.gate:
+        args.smoke = True
     if args.smoke:
         args.clients, args.requests = "1,8", 48
         args.fleet_clients = min(args.fleet_clients, 64)
@@ -373,7 +380,7 @@ def main(argv: list[str] | None = None) -> int:
         if kernel_speedup is not None:
             metrics["kernel_speedup_vs_hash"] = kernel_speedup
         path = write_bench_artifact(
-            "serving",
+            "serving_gate" if args.gate else "serving",
             params={
                 "dataset": args.dataset, "scale": args.scale,
                 "fanout": args.fanout, "hidden": args.hidden,

@@ -121,11 +121,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--smoke", action="store_true",
                         help="tiny sweep for CI (fewer points and requests)")
+    parser.add_argument("--gate", action="store_true",
+                        help="pinned regression-gate profile (the smoke "
+                        "sweep under fixed params): writes BENCH_streaming_"
+                        "gate.json for check_regression.py; metrics are "
+                        "simulated, so the artifact is machine-independent")
     parser.add_argument("--json", default=None, metavar="PATH",
                         help="artifact path (default benchmarks/results/"
                         "BENCH_streaming.json); 'none' disables")
     args = parser.parse_args(argv)
 
+    if args.gate:
+        args.smoke = True
     if args.smoke:
         args.requests, args.ratios, args.thresholds = 48, "0,0.5", "0.005"
 
@@ -253,7 +260,7 @@ def main(argv: list[str] | None = None) -> int:
                 throughput[(peak, 8)] / throughput[(0.0, 8)]
             )
         path = write_bench_artifact(
-            "streaming",
+            "streaming_gate" if args.gate else "streaming",
             params={
                 "dataset": args.dataset, "scale": args.scale,
                 "fanout": args.fanout, "hidden": args.hidden,

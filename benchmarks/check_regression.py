@@ -14,7 +14,13 @@ stay within ``--tolerance`` of the baseline; params must match exactly
 (excluding ``--ignore-params`` keys) or the artifacts are declared
 incomparable — a different invocation proves nothing about perf.
 
-Exit codes: 0 ok, 1 regression, 2 usage/schema error, 3 params mismatch.
+Artifacts carrying an environment fingerprint (``env`` key — wall-clock
+benches like ``bench_parallel`` attach one) must additionally match on it,
+because wall-clock numbers are machine-specific; ``--ignore-env`` skips
+that check for cross-machine *ratio* gating (speedups, hit rates).
+
+Exit codes: 0 ok, 1 regression, 2 usage/schema error, 3 params mismatch,
+4 environment mismatch.
 """
 
 from __future__ import annotations
@@ -24,6 +30,7 @@ import sys
 from pathlib import Path
 
 from repro.bench import (
+    EnvMismatch,
     ParamsMismatch,
     compare_artifacts,
     default_artifact_path,
@@ -46,6 +53,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--ignore-params", default="", metavar="K1,K2",
                         help="comma-separated param keys excluded from the "
                         "comparability check")
+    parser.add_argument("--ignore-env", action="store_true",
+                        help="skip the environment-fingerprint match (gate "
+                        "machine-independent ratios across machines)")
     args = parser.parse_args(argv)
 
     ignore = tuple(k for k in args.ignore_params.split(",") if k)
@@ -65,11 +75,15 @@ def main(argv: list[str] | None = None) -> int:
             return 2
         baseline = load_bench_artifact(baseline_path)
         regressions = compare_artifacts(
-            baseline, fresh, tolerance=args.tolerance, ignore_params=ignore
+            baseline, fresh, tolerance=args.tolerance, ignore_params=ignore,
+            ignore_env=args.ignore_env,
         )
     except ParamsMismatch as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 3
+    except EnvMismatch as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 4
     except (ValueError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

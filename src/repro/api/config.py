@@ -106,6 +106,8 @@ class RunConfig:
     autoscale_min: int = 1  # autoscaler replica-count floor
     autoscale_max: int = 8  # autoscaler replica-count ceiling
     autoscale_interval: float = 0.01  # seconds of sim time per autoscaler window
+    # -- real multi-core execution (repro.parallel) ----------------------- #
+    workers: int = 0  # shared-memory worker processes; 0 = serial, no mp import
 
     def __post_init__(self) -> None:
         if isinstance(self.fanout, list):
@@ -156,6 +158,16 @@ class RunConfig:
         if self.algorithm == "single" and self.p != 1:
             raise ValueError(
                 f"algorithm 'single' requires p=1, got p={self.p}"
+            )
+        if self.workers < 0:
+            raise ValueError(
+                f"workers must be non-negative (0 = serial), got {self.workers}"
+            )
+        if self.algorithm == "parallel" and self.p != 1:
+            raise ValueError(
+                f"algorithm 'parallel' requires p=1, got p={self.p}: it "
+                f"parallelizes over real worker processes (workers=N), not "
+                f"simulated ranks — use algorithm='replicated' to sweep p"
             )
         if self.k is not None and self.k <= 0:
             raise ValueError("bulk size k must be positive")

@@ -178,6 +178,21 @@ class Engine:
         what ``train_epoch(epoch)`` would have returned."""
         return self.pipeline.stream_bulks(epoch)
 
+    def close(self) -> None:
+        """Release backend resources — with ``algorithm="parallel"`` this
+        shuts the worker pool down and frees its shared-memory segments.
+        Idempotent, and a no-op when no pipeline was ever built; the pool
+        also cleans itself up at garbage collection / interpreter exit,
+        so calling this is only needed for prompt teardown."""
+        if self._pipeline is not None:
+            self._pipeline.close()
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
     # ------------------------------------------------------------------ #
     # Online serving
     # ------------------------------------------------------------------ #
@@ -225,6 +240,9 @@ class Engine:
                 or cfg.router != "direct"
                 or cfg.shed_policy != "none"
                 or cfg.slo_p99 > 0
+                # workers > 0 serves through the cluster's parallel path
+                # (an N=1 fleet is bit-identical to the engine).
+                or cfg.workers > 0
             )
         if stream is None:
             stream = cfg.stream_updates

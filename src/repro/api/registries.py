@@ -54,6 +54,7 @@ from ..core import (
 )
 from ..graphs import Graph, load_dataset
 from ..graphs.datasets import PAPER_DATASETS
+from ..parallel import ParallelBackend
 from .backends import PartitionedBackend, ReplicatedBackend, SingleDeviceBackend
 from .registry import CapabilityError, Registry
 
@@ -137,6 +138,14 @@ ALGORITHMS.register(
     "partitioned", PartitionedBackend, scalable=True,
     description="Graph Partitioned (section 5.2): 1.5D sparsity-aware SpGEMM",
 )
+# Not "scalable" in the simulated-rank sense: it parallelizes over real
+# worker processes (RunConfig.workers), so p stays 1 and sweeping simulated
+# world sizes over it is meaningless.
+ALGORITHMS.register(
+    "parallel", ParallelBackend, scalable=False,
+    description="real multi-core bulk sampling: shared-memory worker pool "
+    "(workers=N; workers=0 runs serial, bit-identical)",
+)
 
 
 # ---------------------------------------------------------------------- #
@@ -217,8 +226,10 @@ def sampler_algorithms(sampler: str) -> tuple[str, ...]:
     """Execution algorithms a registered sampler supports.
 
     Explicit ``algorithms`` metadata wins; otherwise support is derived:
-    ``single`` and ``replicated`` always work (they run the sampler's own
-    ``sample_bulk``), and ``partitioned`` is available iff the sampler
+    ``single``, ``replicated`` and ``parallel`` always work (all three run
+    the sampler's own ``sample_bulk`` — ``parallel`` just does it on real
+    worker processes with the same per-batch RNG discipline as
+    ``replicated``), and ``partitioned`` is available iff the sampler
     emits a plan — distribution is a property of the plan, not of any
     per-sampler distributed code.
     """
@@ -226,7 +237,7 @@ def sampler_algorithms(sampler: str) -> tuple[str, ...]:
     explicit = entry.meta("algorithms", None)
     if explicit is not None:
         return tuple(explicit)
-    derived = ("single", "replicated")
+    derived = ("single", "replicated", "parallel")
     if _emits_plan(entry.obj):
         derived += ("partitioned",)
     return derived

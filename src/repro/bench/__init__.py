@@ -5,11 +5,13 @@ from .artifact import (
     BENCH_SCHEMA_VERSION,
     bench_artifact,
     default_artifact_path,
+    env_fingerprint,
     load_bench_artifact,
     write_bench_artifact,
 )
 from .harness import SIM_WORKLOADS, BenchWorkload, load_bench_graph, run_pipeline_epoch
 from .regression import (
+    EnvMismatch,
     ParamsMismatch,
     Regression,
     compare_artifact_files,
@@ -39,10 +41,12 @@ __all__ = [
     "BENCH_SCHEMA_VERSION",
     "bench_artifact",
     "default_artifact_path",
+    "env_fingerprint",
     "load_bench_artifact",
     "write_bench_artifact",
     "Regression",
     "ParamsMismatch",
+    "EnvMismatch",
     "metric_direction",
     "compare_artifacts",
     "compare_artifact_files",

@@ -18,10 +18,17 @@ no machine-readable perf history to diff a PR against.  Every
 
 ``schema_version`` guards future readers: bump it when a field changes
 meaning, and keep :func:`load_bench_artifact` refusing versions it does not
-understand rather than silently misreading a trajectory point.  Artifacts
-deliberately carry no timestamps or host info — simulated metrics are
-deterministic, and a byte-stable file makes regressions show up as a git
-diff.
+understand rather than silently misreading a trajectory point.
+
+*Simulated* artifacts deliberately carry no timestamps or host info —
+simulated metrics are deterministic, and a byte-stable file makes
+regressions show up as a git diff.  *Wall-clock* artifacts (e.g. the
+multi-core ``bench_parallel``) are machine-dependent, so they attach an
+optional ``"env"`` key (:func:`env_fingerprint`: cpu count,
+python/numpy versions, platform) and the regression gate refuses to
+compare artifacts from different environments unless told to
+(``--ignore-env``) — a speedup measured on 16 cores says nothing about a
+1-core box, and that incomparability must fail loudly, not drift by.
 """
 
 from __future__ import annotations
@@ -36,6 +43,7 @@ __all__ = [
     "write_bench_artifact",
     "load_bench_artifact",
     "default_artifact_path",
+    "env_fingerprint",
 ]
 
 #: Current artifact schema.  Version 1: ``schema_version`` / ``bench`` /
@@ -60,31 +68,63 @@ def _jsonable(value: Any) -> Any:
     return value
 
 
+def env_fingerprint(*, workers: int | None = None) -> dict[str, Any]:
+    """The environment facts that make wall-clock numbers comparable.
+
+    Attach this (via ``bench_artifact(..., env=...)``) to any benchmark
+    whose metrics depend on the machine: core count, interpreter and numpy
+    versions, platform.  ``workers`` records how many worker processes the
+    run actually used when that is an environment choice rather than a
+    swept parameter.
+    """
+    import os
+    import platform
+
+    import numpy
+
+    env: dict[str, Any] = {
+        "cpu_count": int(os.cpu_count() or 1),
+        "python": platform.python_version(),
+        "numpy": str(numpy.__version__),
+        "platform": f"{platform.system()}-{platform.machine()}",
+    }
+    if workers is not None:
+        env["workers"] = int(workers)
+    return env
+
+
 def bench_artifact(
     name: str,
     *,
     params: Mapping[str, Any] | None = None,
     metrics: Mapping[str, Any] | None = None,
     rows: Sequence[Mapping[str, Any]] | None = None,
+    env: Mapping[str, Any] | None = None,
 ) -> dict[str, Any]:
     """Assemble one schema-versioned artifact payload.
 
     ``params`` records the knobs the run used (so a trajectory point is
     self-describing), ``metrics`` the headline scalars a regression gate
-    would compare, ``rows`` the full sweep table.
+    would compare, ``rows`` the full sweep table.  ``env`` (only present
+    when given — simulated benches stay byte-stable) carries the
+    :func:`env_fingerprint` of machine-dependent runs; the regression
+    gate refuses cross-environment comparisons unless overridden.
     """
     if not name or not name.replace("_", "").isalnum():
         raise ValueError(
             f"bench name {name!r} must be alphanumeric/underscore "
             f"(it becomes the BENCH_<name>.json filename)"
         )
-    return {
+    payload = {
         "schema_version": BENCH_SCHEMA_VERSION,
         "bench": name,
         "params": _jsonable(dict(params or {})),
         "metrics": _jsonable(dict(metrics or {})),
         "rows": _jsonable(list(rows or [])),
     }
+    if env is not None:
+        payload["env"] = _jsonable(dict(env))
+    return payload
 
 
 def default_artifact_path(name: str, out_dir: str | Path | None = None) -> Path:
@@ -107,6 +147,7 @@ def write_bench_artifact(
     params: Mapping[str, Any] | None = None,
     metrics: Mapping[str, Any] | None = None,
     rows: Sequence[Mapping[str, Any]] | None = None,
+    env: Mapping[str, Any] | None = None,
     path: str | Path | None = None,
 ) -> Path:
     """Write ``BENCH_<name>.json`` and return its path.
@@ -114,7 +155,9 @@ def write_bench_artifact(
     ``path`` overrides the default location (benchmark scripts expose it
     as ``--json``); parent directories are created.
     """
-    payload = bench_artifact(name, params=params, metrics=metrics, rows=rows)
+    payload = bench_artifact(
+        name, params=params, metrics=metrics, rows=rows, env=env
+    )
     out = Path(path) if path is not None else default_artifact_path(name)
     out.parent.mkdir(parents=True, exist_ok=True)
     out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

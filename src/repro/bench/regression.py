@@ -32,6 +32,7 @@ from .artifact import load_bench_artifact
 __all__ = [
     "Regression",
     "ParamsMismatch",
+    "EnvMismatch",
     "metric_direction",
     "compare_artifacts",
     "compare_artifact_files",
@@ -41,12 +42,23 @@ __all__ = [
 #: order; first match wins (so "p99_ms" is lower-better even though a
 #: hypothetical "p99_ms_speedup" would be higher-better — list higher-
 #: better fragments first to keep ratios meaningful).
-_HIGHER_BETTER = ("req_per_s", "speedup", "throughput", "hit_rate")
+_HIGHER_BETTER = (
+    "req_per_s", "speedup", "throughput", "hit_rate",
+    "fetch_reduction", "overlap_saving", "retention",
+)
 _LOWER_BETTER = ("_ms", "p50", "p95", "p99", "makespan", "latency", "seconds")
 
 
 class ParamsMismatch(ValueError):
     """Fresh and baseline artifacts were produced with different params."""
+
+
+class EnvMismatch(ValueError):
+    """Fresh and baseline artifacts carry different environment
+    fingerprints (``env`` key) — wall-clock numbers measured on different
+    machines prove nothing about each other.  Pass ``ignore_env=True``
+    (CLI ``--ignore-env``) to compare anyway, e.g. to gate speedup
+    *ratios* across machines."""
 
 
 @dataclass(frozen=True)
@@ -86,14 +98,17 @@ def compare_artifacts(
     *,
     tolerance: float = 0.05,
     ignore_params: tuple[str, ...] = (),
+    ignore_env: bool = False,
 ) -> list[Regression]:
     """Diff two artifact payloads; returns the list of regressions.
 
     Raises :class:`ValueError` when the artifacts are for different
     benches, :class:`ParamsMismatch` when their params differ (keys in
-    ``ignore_params`` are excused), and flags a baseline metric that
-    vanished from the fresh run as a regression-shaped failure too —
-    silently dropping a gated metric must not pass the gate.
+    ``ignore_params`` are excused), :class:`EnvMismatch` when either
+    carries an environment fingerprint and they disagree (unless
+    ``ignore_env``), and flags a baseline metric that vanished from the
+    fresh run as a regression-shaped failure too — silently dropping a
+    gated metric must not pass the gate.
     """
     if tolerance < 0:
         raise ValueError("tolerance must be non-negative")
@@ -102,6 +117,24 @@ def compare_artifacts(
             f"cannot compare different benches: baseline is "
             f"{baseline.get('bench')!r}, fresh is {fresh.get('bench')!r}"
         )
+    if not ignore_env:
+        base_env = baseline.get("env")
+        fresh_env = fresh.get("env")
+        if base_env != fresh_env:
+            keys = sorted(
+                k
+                for k in set(base_env or {}) | set(fresh_env or {})
+                if (base_env or {}).get(k) != (fresh_env or {}).get(k)
+            ) or ["env"]
+            raise EnvMismatch(
+                f"artifacts come from different environments (differ on "
+                f"{', '.join(keys)}: baseline "
+                f"{ {k: (base_env or {}).get(k) for k in keys} } vs fresh "
+                f"{ {k: (fresh_env or {}).get(k) for k in keys} }); "
+                f"wall-clock numbers are machine-specific — regenerate the "
+                f"baseline on this machine or pass ignore_env to gate "
+                f"ratios only"
+            )
     base_params = {
         k: v for k, v in baseline.get("params", {}).items()
         if k not in ignore_params
@@ -165,6 +198,7 @@ def compare_artifact_files(
     *,
     tolerance: float = 0.05,
     ignore_params: tuple[str, ...] = (),
+    ignore_env: bool = False,
 ) -> list[Regression]:
     """File-path convenience over :func:`compare_artifacts` (both loads
     are schema-version checked)."""
@@ -173,4 +207,5 @@ def compare_artifact_files(
         load_bench_artifact(fresh_path),
         tolerance=tolerance,
         ignore_params=ignore_params,
+        ignore_env=ignore_env,
     )

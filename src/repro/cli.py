@@ -40,7 +40,7 @@ _TRAIN_OVERRIDES = (
     "compaction_threshold",
     "replicas", "router", "shed_policy", "shed_queue_depth",
     "shed_deadline", "slo_p99", "autoscale_min", "autoscale_max",
-    "autoscale_interval",
+    "autoscale_interval", "workers",
 )
 
 
@@ -109,7 +109,9 @@ def build_parser() -> argparse.ArgumentParser:
         description="Flags override --config; without --config unset flags "
         "use the defaults shown (dataset defaults to 'products'). Giving "
         "--c > 1 without --algorithm selects the partitioned algorithm, "
-        "the only one a replication group is meaningful for.",
+        "the only one a replication group is meaningful for; --workers > 0 "
+        "without --algorithm/--p selects the parallel algorithm (real "
+        "worker processes instead of simulated ranks).",
     )
     trn.add_argument("dataset", nargs="?", default=None, choices=datasets)
     trn.add_argument("--config", default=None, metavar="FILE.json",
@@ -123,6 +125,10 @@ def build_parser() -> argparse.ArgumentParser:
                      "partitioned unless given)")
     trn.add_argument("--k", type=int, default=None,
                      help="bulk size in minibatches, default whole epoch")
+    trn.add_argument("--workers", type=int, default=None,
+                     help="real worker processes for bulk sampling "
+                     "(default 0 = serial; > 0 implies --algorithm "
+                     "parallel unless given)")
     trn.add_argument("--algorithm", default=None, choices=algorithms)
     trn.add_argument("--sampler", default=None, choices=samplers)
     trn.add_argument("--kernel", default=None, choices=kernels,
@@ -222,6 +228,10 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--autoscale-interval", type=float, default=None,
                      dest="autoscale_interval", metavar="SECONDS",
                      help="autoscaler evaluation window, default 0.01")
+    srv.add_argument("--workers", type=int, default=None,
+                     help="serve each replica in its own worker process "
+                     "over a shared-memory graph (default 0 = in-process; "
+                     "needs an open-loop trace and no autoscaler)")
 
     stm = sub.add_parser(
         "stream",
@@ -279,6 +289,9 @@ def build_parser() -> argparse.ArgumentParser:
                      dest="embed_budget", metavar="BYTES",
                      help="embedding-cache budget; updates invalidate dirty "
                      "rows (default 0 = off)")
+    stm.add_argument("--workers", type=int, default=None,
+                     help="serve each replica in its own worker process "
+                     "over a shared-memory graph (default 0 = in-process)")
 
     swp = sub.add_parser("sweep", help="figure-4-style GPU-count sweep")
     swp.add_argument("dataset", choices=datasets)
@@ -385,6 +398,18 @@ def _resolve_train_config(args):
     # instead of failing the grid validation downstream.
     if overrides.get("c", 1) > 1 and "algorithm" not in overrides:
         settings["algorithm"] = "partitioned"
+    # Worker processes parallelize over real cores, not simulated ranks,
+    # so `train --workers N` without --algorithm/--p selects the parallel
+    # backend at p=1.  serve/stream keep their training defaults: there
+    # --workers drives the serving fleet, not the training backend.
+    if (
+        getattr(args, "command", None) == "train"
+        and overrides.get("workers", 0) > 0
+        and "algorithm" not in overrides
+        and "p" not in overrides
+    ):
+        settings["algorithm"] = "parallel"
+        settings["p"] = 1
     settings.update(overrides)
     settings.setdefault(
         "fanout",
@@ -409,27 +434,33 @@ def _cmd_train(args) -> int:
         engine.pipeline  # resolve registries/capabilities before training
     except (ValueError, KeyError, FileNotFoundError) as exc:
         return _user_error(exc)
-    epoch_times = []
-    for epoch in range(cfg.epochs):
-        stats = engine.train_epoch(epoch)
-        epoch_times.append(stats.epoch_seconds)
-        loss_txt = (
-            f"loss {stats.loss:.4f}" if stats.loss is not None else "loss n/a"
-        )
-        line = (f"epoch {epoch}: {loss_txt}  "
-                f"sim-time {stats.epoch_seconds:.5f}s "
-                f"(sampling {stats.sampling:.5f} / fetch {stats.feature_fetch:.5f}"
-                f" / prop {stats.propagation:.5f})")
-        if stats.pipelined_total is not None:
-            line += f" overlap saved {stats.overlap_saved:.5f}s"
-        if stats.fetch_hit_rate is not None:
-            line += f" cache hit-rate {stats.fetch_hit_rate:.2%}"
-        print(line)
-    if len(epoch_times) > 1:
-        from repro.bench.reporting import format_latency_summary
+    try:
+        epoch_times = []
+        for epoch in range(cfg.epochs):
+            stats = engine.train_epoch(epoch)
+            epoch_times.append(stats.epoch_seconds)
+            loss_txt = (
+                f"loss {stats.loss:.4f}" if stats.loss is not None
+                else "loss n/a"
+            )
+            line = (f"epoch {epoch}: {loss_txt}  "
+                    f"sim-time {stats.epoch_seconds:.5f}s "
+                    f"(sampling {stats.sampling:.5f} / "
+                    f"fetch {stats.feature_fetch:.5f}"
+                    f" / prop {stats.propagation:.5f})")
+            if stats.pipelined_total is not None:
+                line += f" overlap saved {stats.overlap_saved:.5f}s"
+            if stats.fetch_hit_rate is not None:
+                line += f" cache hit-rate {stats.fetch_hit_rate:.2%}"
+            print(line)
+        if len(epoch_times) > 1:
+            from repro.bench.reporting import format_latency_summary
 
-        print(format_latency_summary(epoch_times, label="sim-time summary"))
-    print(f"test accuracy: {engine.evaluate('test'):.3f}")
+            print(format_latency_summary(epoch_times,
+                                         label="sim-time summary"))
+        print(f"test accuracy: {engine.evaluate('test'):.3f}")
+    finally:
+        engine.close()  # shut down worker pools (--workers) promptly
     return 0
 
 

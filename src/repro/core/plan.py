@@ -206,6 +206,20 @@ class SamplingPlan:
     def __len__(self) -> int:
         return len(self.steps)
 
+    def digest(self) -> str:
+        """Stable content hash of the program (steps are frozen dataclasses
+        with value reprs).  Worker pools key warm per-process sampler state
+        by this digest so the hot-path task message carries 16 bytes, not
+        a pickled plan; two plans share a digest iff they would execute
+        identically."""
+        import hashlib
+
+        h = hashlib.blake2b(digest_size=16)
+        for step in self.steps:
+            h.update(type(step).__name__.encode())
+            h.update(repr(step).encode())
+        return h.hexdigest()
+
     def describe(self) -> str:
         """One line per step: ``phase  STEP(args)`` — for docs and debug.
 

@@ -1,0 +1,62 @@
+"""repro.parallel: real multi-core execution over shared-memory graphs.
+
+Three layers (see each module's docstring):
+
+* :mod:`~repro.parallel.shm` — publish frozen CSR/feature arrays into
+  named shared-memory segments once; workers get zero-copy read-only
+  views; refcounted + crash-guarded cleanup; re-publication hooks for
+  streaming compaction.
+* :mod:`~repro.parallel.pool` — a persistent spawn-safe
+  :class:`WorkerPool` of warm workers executing sampling plans
+  batch-parallel (bit-identical to serial by the per-global-batch-index
+  RNG discipline).
+* :mod:`~repro.parallel.backend` / :mod:`~repro.parallel.fleet` — the
+  ``parallel`` :class:`~repro.api.backends.ExecutionBackend` and the
+  per-replica-process serving-fleet path behind
+  ``RunConfig.workers`` / ``repro train|serve|stream --workers``.
+
+Importing this package (or :class:`ParallelBackend`) must stay free of
+``multiprocessing`` imports — the registry pulls it in unconditionally
+and ``workers=0`` platforms without shared-memory support must keep
+working.  Everything heavier loads lazily via ``__getattr__``.
+"""
+
+from __future__ import annotations
+
+from .backend import ParallelBackend
+
+__all__ = [
+    "ParallelBackend",
+    "SharedGraph",
+    "SharedFeatures",
+    "SegmentGroup",
+    "SharedArraySpec",
+    "WorkerPool",
+    "SamplerSpec",
+    "WorkerError",
+    "parallel_support_error",
+    "ensure_parallel_support",
+    "process_parallel",
+]
+
+_LAZY = {
+    "SharedGraph": "shm",
+    "SharedFeatures": "shm",
+    "SegmentGroup": "shm",
+    "SharedArraySpec": "shm",
+    "parallel_support_error": "shm",
+    "ensure_parallel_support": "shm",
+    "WorkerPool": "pool",
+    "SamplerSpec": "pool",
+    "WorkerError": "pool",
+    "process_parallel": "fleet",
+}
+
+
+def __getattr__(name: str):
+    module = _LAZY.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(f".{module}", __name__), name)

@@ -1,0 +1,273 @@
+"""Parallel serving fleet: each replica's timeline in its own process.
+
+The serial :meth:`~repro.serve.cluster.ServingCluster.process` loop is an
+earliest-``(t, rid)`` merge of per-replica timelines.  When three
+conditions hold, that merge *decomposes exactly* into independent
+per-replica runs:
+
+* **No autoscaler** (``slo_p99 == 0``): replica membership is fixed, so
+  no global evaluation point couples the timelines.
+* **Open-loop workload** (``workload.open_loop``): every request exists
+  up front and ``on_complete`` issues nothing, so routing and
+  queue-depth admission are a pure function of the submission order —
+  they run in the parent, before any serving.
+* **Exact mode**: logits consume no randomness and depend only on the
+  requested vertices and the graph state at dispatch, so the global
+  batch-index RNG key is metadata, not math.
+
+Under those conditions each worker replays its replica's full timeline —
+micro-batch dispatch, deadline shedding, streaming-update absorption at
+``max(free, update.at)``, embedding-cache fills — against zero-copy
+shared-memory graph/feature views, and returns results, clock state and
+counters.  The parent reassembles the global order (dispatches sort by
+``(t, rid)``, exactly the serial merge order), renumbers batch indices,
+replays the updates once on its own stream for final graph state, and
+emits the same :class:`~repro.serve.engine.ServeReport` the serial loop
+would.  Digest bit-identity at every worker count is pinned in
+``tests/test_fleet_parallel.py``.
+
+Anything outside the decomposable regime raises an actionable error
+pointing at the serial path rather than silently serving different
+semantics.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING, Any
+
+from ..comm.clock import SimClock
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..serve.cluster import ServingCluster
+    from ..serve.engine import ServeReport
+
+__all__ = ["process_parallel", "clock_state", "restore_clock"]
+
+
+# ---------------------------------------------------------------------- #
+# SimClock (de)serialization — the defaultdict inside SimClock holds a
+# lambda, so clocks cannot cross a pipe directly.
+# ---------------------------------------------------------------------- #
+def clock_state(clock: SimClock) -> tuple:
+    """A picklable snapshot of one clock's time and phase accounting."""
+    return (
+        clock.world_size,
+        list(clock._time),
+        {key: list(per_rank) for key, per_rank in clock._phase_time.items()},
+    )
+
+
+def restore_clock(state: tuple) -> SimClock:
+    """Rebuild a :class:`SimClock` from :func:`clock_state`."""
+    world_size, times, phase_time = state
+    clock = SimClock(world_size)
+    clock._time = list(times)
+    for key, per_rank in phase_time.items():
+        clock._phase_time[key] = list(per_rank)
+    return clock
+
+
+# ---------------------------------------------------------------------- #
+# Worker side: one replica's complete timeline
+# ---------------------------------------------------------------------- #
+def _serve_replica_task(adj, features, payload: dict) -> dict:
+    """Run one replica's whole serving timeline in a pool worker.
+
+    ``adj``/``features`` are the worker's shared-memory views; the payload
+    carries the replica id, its admitted requests in submission order, the
+    full update stream, the model and the config.  Mirrors the serial
+    loop's per-replica decisions exactly (see module docstring).
+    """
+    from ..graphs import Graph
+    from ..serve.admission import AdmissionController
+    from ..serve.replica import Replica
+
+    config = payload["config"]
+    graph = Graph(name=payload["graph_name"], adj=adj, features=features)
+    updates = payload["updates"]
+    stream = None
+    if updates:
+        from ..stream.graph import StreamingGraph
+
+        stream = StreamingGraph(
+            graph,
+            compaction_threshold=getattr(config, "compaction_threshold", 0.25),
+        )
+    rep = Replica(config=config, model=payload["model"], graph=graph,
+                  fanout=None, rid=payload["rid"])
+    admission = AdmissionController(
+        getattr(config, "shed_policy", "none"),
+        queue_depth=getattr(config, "shed_queue_depth", 64),
+        deadline=getattr(config, "shed_deadline", 0.0),
+    )
+    for req in payload["requests"]:
+        rep.queue.push(req)
+
+    results: list[list] = []
+    dispatch_times: list[float] = []
+    next_update = 0
+    local_index = 0
+
+    def absorb(update) -> None:
+        result = stream.apply(update)
+        at = max(rep.free, update.at)
+        rep.free = at + rep.absorb_update(result)
+
+    while True:
+        dispatch = rep.batcher.next_dispatch(rep.queue, rep.free)
+        if dispatch is None:
+            if next_update < len(updates):
+                absorb(updates[next_update])
+                next_update += 1
+                continue
+            break
+        t, batch = dispatch
+        if next_update < len(updates) and updates[next_update].at <= t:
+            rep.queue.pending = batch + rep.queue.pending
+            absorb(updates[next_update])
+            next_update += 1
+            continue
+        batch = admission.filter_batch(rep, batch, t)
+        if not batch:
+            continue
+        batch_results = rep.serve_batch(batch, t, local_index)
+        rep.free = batch_results[0].completed
+        rep.batches += 1
+        rep.served += len(batch_results)
+        results.append(batch_results)
+        dispatch_times.append(t)
+        local_index += 1
+
+    return {
+        "rid": payload["rid"],
+        "results": results,
+        "dispatch_times": dispatch_times,
+        "clock": clock_state(rep.clock),
+        "stats": rep.stats,
+        "batches": rep.batches,
+        "served": rep.served,
+        "free": rep.free,
+    }
+
+
+# ---------------------------------------------------------------------- #
+# Parent side
+# ---------------------------------------------------------------------- #
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ValueError(f"parallel serving (workers > 0) {message}")
+
+
+def process_parallel(
+    cluster: "ServingCluster", workload, workers: int
+) -> "ServeReport":
+    """The ``workers > 0`` path of :meth:`ServingCluster.process`."""
+    from ..serve.cache import ServeStats
+    from ..serve.request import RequestQueue
+    from .pool import WorkerPool
+    from .shm import SharedFeatures, SharedGraph
+
+    _require(cluster.exact, "requires exact serving (fanout=None): sampled "
+             "serving draws from a global batch-index RNG the per-replica "
+             "decomposition cannot reproduce")
+    _require(cluster.autoscaler is None, "is incompatible with autoscaling "
+             "(slo_p99 > 0): scaling decisions couple replica timelines; "
+             "run with workers=0")
+    _require(bool(getattr(workload, "open_loop", False)),
+             "needs an open-loop workload (a request trace): closed-loop "
+             "clients submit based on completions, which couples replica "
+             "timelines; run with workers=0")
+    _require(not any(rep.batches or rep.served for rep in cluster.replicas),
+             "must start from fresh replicas: a reused cluster carries warm "
+             "embedding caches the cold worker replicas would diverge from")
+
+    for rep in cluster.replicas:
+        rep.reset()
+    cluster.router.rebalance([rep.rid for rep in cluster.replicas])
+    updates = list(workload.updates()) if hasattr(workload, "updates") else []
+    if updates and cluster.stream is None:
+        raise ValueError(
+            "workload interleaves edge updates but this cluster serves "
+            "a frozen graph; build it over a StreamingGraph "
+            "(RunConfig(stream_updates=True))"
+        )
+
+    # Routing + queue-depth admission in submission order (parent side) —
+    # identical to the serial loop because every request is submitted
+    # before any serving starts in an open-loop run.
+    by_rid = cluster._by_rid()
+    assigned: dict[int, list] = {rep.rid: [] for rep in cluster.replicas}
+    for req in workload.initial():
+        rep = by_rid[cluster.router.route(req)]
+        if cluster.admission.admit(rep, req):
+            rep.queue.push(req)
+            assigned[rep.rid].append(req)
+
+    shared_graph = SharedGraph.publish(cluster.graph.adj)
+    shared_features = SharedFeatures.publish(cluster.graph.features)
+    payloads = [
+        {
+            "rid": rep.rid,
+            "graph_name": cluster.graph.name,
+            "requests": assigned[rep.rid],
+            "updates": updates,
+            "model": cluster.model,
+            "config": cluster.config,
+        }
+        for rep in cluster.replicas
+    ]
+    pool = WorkerPool(
+        min(int(workers), len(cluster.replicas)), shared_graph, shared_features
+    )
+    try:
+        outcomes = pool.run(_serve_replica_task, payloads)
+    finally:
+        pool.shutdown()
+        shared_graph.release()
+        shared_features.release()
+
+    # Global dispatch order = the serial merge order: each replica's
+    # dispatch times increase, and the serial loop always takes the
+    # earliest (t, rid) — a k-way merge of sorted streams.
+    schedule: list[tuple[float, int, int]] = []
+    for outcome in outcomes:
+        for local_index, t in enumerate(outcome["dispatch_times"]):
+            schedule.append((t, outcome["rid"], local_index))
+    schedule.sort()
+    renumber = {
+        (rid, local): global_index
+        for global_index, (_, rid, local) in enumerate(schedule)
+    }
+    results = []
+    for outcome in outcomes:
+        rid = outcome["rid"]
+        for local_index, batch_results in enumerate(outcome["results"]):
+            global_index = renumber[(rid, local_index)]
+            results.extend(
+                dataclasses.replace(r, batch_index=global_index)
+                for r in batch_results
+            )
+
+    # Merge worker state back onto the parent replicas so _report (and any
+    # later inspection) sees the same fleet the serial loop would leave.
+    for outcome in outcomes:
+        rep = by_rid[outcome["rid"]]
+        rep.clock = restore_clock(outcome["clock"])
+        for f in dataclasses.fields(ServeStats):
+            setattr(rep.stats, f.name,
+                    getattr(rep.stats, f.name) + getattr(outcome["stats"], f.name))
+        rep.batches = outcome["batches"]
+        rep.served = outcome["served"]
+        rep.free = outcome["free"]
+        rep.queue = RequestQueue()
+
+    # Replay the churn once on the parent's stream: final adjacency and
+    # StreamStats match the serial run (workers applied updates only to
+    # their private copies).
+    for update in updates:
+        cluster.stream.apply(update)
+
+    results.sort(key=lambda r: r.request.rid)
+    trace = [(0.0, len(cluster.replicas))]
+    return cluster._report(results, len(schedule), updates, trace)

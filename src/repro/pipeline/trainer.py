@@ -128,6 +128,14 @@ class TrainingPipeline:
     def a_blocks(self):
         return getattr(self.backend, "a_blocks", None)
 
+    def close(self) -> None:
+        """Release backend resources (the parallel backend's worker pool
+        and shared-memory segments).  Idempotent; simulated backends hold
+        nothing and make this a no-op."""
+        close = getattr(self.backend, "close", None)
+        if close is not None:
+            close()
+
     # ------------------------------------------------------------------ #
     # Sampling step
     # ------------------------------------------------------------------ #

@@ -242,7 +242,17 @@ class ServingCluster:
         the chosen dispatch broadcast first; autoscaler evaluations due
         before it run first.  Deterministic end to end: every decision is
         a function of simulated times and ids.
+
+        With ``config.workers > 0`` the same run executes on real cores:
+        each replica's timeline runs in its own worker process over
+        shared-memory graph views (:mod:`repro.parallel.fleet`), with the
+        merge order — and therefore every digest — unchanged.
         """
+        workers = int(getattr(self.config, "workers", 0))
+        if workers > 0:
+            from ..parallel.fleet import process_parallel
+
+            return process_parallel(self, workload, workers)
         for rep in self.replicas:
             rep.reset()
         if self.autoscaler is not None and (

@@ -31,6 +31,11 @@ __all__ = ["TraceWorkload", "ClosedLoopWorkload", "load_trace", "save_trace"]
 class TraceWorkload:
     """Open-loop workload: requests arrive per the trace, come what may."""
 
+    #: Open-loop workloads submit everything up front and never react to
+    #: completions — the property that lets the parallel fleet run each
+    #: replica's timeline in its own process (:mod:`repro.parallel.fleet`).
+    open_loop = True
+
     def __init__(self, requests: Sequence[InferenceRequest]) -> None:
         self.requests = list(requests)
 
@@ -72,6 +77,10 @@ class TraceWorkload:
 
 class ClosedLoopWorkload:
     """Closed-loop load generator: one outstanding request per client."""
+
+    #: Closed-loop clients issue requests from completions, coupling the
+    #: fleet's replica timelines — the parallel fleet path refuses this.
+    open_loop = False
 
     def __init__(
         self,

@@ -117,6 +117,37 @@ class CSRMatrix:
         return cls(mat.indptr, mat.indices, mat.data, mat.shape)
 
     # ------------------------------------------------------------------ #
+    # Buffer export (zero-copy shared-memory publication)
+    # ------------------------------------------------------------------ #
+    def buffers(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The three CSR arrays ``(indptr, indices, data)``, by reference.
+
+        The constructor normalizes to contiguous int64/int64/float64, so
+        these are directly publishable into shared memory; mutating them
+        mutates the matrix.
+        """
+        return self.indptr, self.indices, self.data
+
+    @classmethod
+    def from_buffers(
+        cls,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        data: np.ndarray,
+        shape: tuple[int, int],
+    ) -> "CSRMatrix":
+        """Rebuild from :meth:`buffers` output without copying.
+
+        Arrays that are already contiguous with the canonical dtypes
+        (int64/int64/float64) — e.g. views over an attached shared-memory
+        segment — pass through ``np.ascontiguousarray`` untouched, so the
+        matrix aliases the caller's buffers (read-only views stay
+        read-only).  No invariant checking happens here; callers exporting
+        untrusted buffers should :meth:`check`.
+        """
+        return cls(indptr, indices, data, shape)
+
+    # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
     @property

@@ -93,6 +93,11 @@ class StreamingGraph:
     auto_compact: bool = True
     delta: DeltaCSR = field(init=False)
     stats: StreamStats = field(default_factory=StreamStats)
+    #: Called with the fresh base adjacency after every compaction.  The
+    #: shared-memory layer registers a re-publication here
+    #: (:meth:`repro.parallel.shm.SharedGraph.track`) so worker pools see
+    #: the compacted CSR instead of an ever-growing delta view.
+    compaction_hooks: list = field(init=False, default_factory=list)
 
     def __post_init__(self) -> None:
         self.delta = DeltaCSR(
@@ -127,6 +132,8 @@ class StreamingGraph:
             result.pending = 0
             self.graph.adj = self.delta.base
             compacted_nnz = self.graph.adj.nnz
+            for hook in self.compaction_hooks:
+                hook(self.graph.adj)
         # What the simulated clock should charge: log absorb + dirty-row
         # re-merge, plus (rarely) the full canonicalizing compaction.
         result.sim_cost = {
@@ -145,6 +152,8 @@ class StreamingGraph:
         """Force a compaction now (parity-asserted)."""
         self.graph.adj = self.delta.compact()
         self.stats.compactions = self.delta.compactions
+        for hook in self.compaction_hooks:
+            hook(self.graph.adj)
         return self.graph.adj
 
     def rebuild_from_scratch(self) -> Graph:

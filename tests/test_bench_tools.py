@@ -469,3 +469,99 @@ class TestCheckRegressionCLI:
         path = default_artifact_path("serving_fleet")
         assert path.exists()
         assert gate.main([str(path)]) == 0
+
+    def test_committed_gate_artifacts_gate_themselves(self, gate):
+        """Every committed *_gate baseline (and BENCH_parallel.json) must
+        pass its own gate, mirroring the CI regression-gates job."""
+        from repro.bench import default_artifact_path
+
+        for name in (
+            "kernels_gate", "serving_gate", "streaming_gate",
+            "feature_cache_gate", "parallel",
+        ):
+            path = default_artifact_path(name)
+            assert path.exists(), f"missing committed baseline {path}"
+            assert gate.main([str(path)]) == 0
+
+    def test_exit_4_on_env_mismatch(self, tmp_path, gate, capsys):
+        from repro.bench import write_bench_artifact
+
+        base = write_bench_artifact(
+            "gatedemo", params={"s": 1}, metrics={"speedup": 2.0}, rows=[],
+            env={"cpu_count": 1}, path=tmp_path / "base.json",
+        )
+        fresh = write_bench_artifact(
+            "gatedemo", params={"s": 1}, metrics={"speedup": 2.0}, rows=[],
+            env={"cpu_count": 64}, path=tmp_path / "fresh.json",
+        )
+        rc = gate.main([str(fresh), "--baseline", str(base)])
+        assert rc == 4
+        assert "different environments" in capsys.readouterr().err
+        assert gate.main(
+            [str(fresh), "--baseline", str(base), "--ignore-env"]
+        ) == 0
+
+
+class TestEnvFingerprint:
+    def test_fingerprint_contents(self):
+        import os
+        import platform
+
+        from repro.bench import env_fingerprint
+
+        env = env_fingerprint()
+        assert env["cpu_count"] == (os.cpu_count() or 1)
+        assert env["python"] == platform.python_version()
+        assert "numpy" in env and "platform" in env
+        assert "workers" not in env
+        assert env_fingerprint(workers=4)["workers"] == 4
+
+    def test_artifact_roundtrips_env(self, tmp_path):
+        from repro.bench import (
+            env_fingerprint,
+            load_bench_artifact,
+            write_bench_artifact,
+        )
+
+        env = env_fingerprint(workers=2)
+        path = write_bench_artifact(
+            "demo", params={}, metrics={}, rows=[], env=env,
+            path=tmp_path / "BENCH_demo.json",
+        )
+        assert load_bench_artifact(path)["env"] == env
+
+    def test_env_free_artifact_has_no_env_key(self, tmp_path):
+        """Simulated artifacts stay byte-stable across machines — no env
+        key unless the bench asked for one."""
+        from repro.bench import load_bench_artifact, write_bench_artifact
+
+        path = write_bench_artifact(
+            "demo", params={}, metrics={}, rows=[],
+            path=tmp_path / "BENCH_demo.json",
+        )
+        assert "env" not in load_bench_artifact(path)
+
+    def test_compare_raises_env_mismatch(self):
+        from repro.bench import EnvMismatch, compare_artifacts
+
+        base = dict(_artifact({"speedup": 2.0}), env={"cpu_count": 1})
+        fresh = dict(_artifact({"speedup": 2.0}), env={"cpu_count": 64})
+        with pytest.raises(EnvMismatch, match="cpu_count"):
+            compare_artifacts(base, fresh)
+        assert compare_artifacts(base, fresh, ignore_env=True) == []
+
+    def test_env_vs_envless_artifact_mismatches(self):
+        """A wall-clock artifact never silently gates against an env-free
+        baseline (or vice versa)."""
+        from repro.bench import EnvMismatch, compare_artifacts
+
+        base = _artifact({"speedup": 2.0})
+        fresh = dict(_artifact({"speedup": 2.0}), env={"cpu_count": 1})
+        with pytest.raises(EnvMismatch):
+            compare_artifacts(base, fresh)
+
+    def test_matching_env_passes(self):
+        from repro.bench import compare_artifacts
+
+        base = dict(_artifact({"speedup": 2.0}), env={"cpu_count": 1})
+        assert compare_artifacts(base, dict(base)) == []
