@@ -184,6 +184,66 @@ def run_fleet_sweep(engine: Engine, args, failures: list[str]):
     return rows, metrics
 
 
+def run_trace_overhead(engine: Engine, args, failures: list[str]) -> float:
+    """Gate the observability layer's serving overhead.
+
+    Serves the peak smoke point repeatedly with the process-wide tracer
+    absent and installed, interleaved, taking the min wall time of each
+    (min-of-N absorbs scheduler noise; the interleaving absorbs thermal /
+    cache drift between the two arms).  Asserts the traced run stays
+    within ``--overhead-budget`` (default 2%) of the untraced one and
+    that both serve the identical logits digest — tracing must never
+    perturb RNG or results.
+    """
+    from time import perf_counter
+
+    from repro.obs import Tracer, get_tracer, set_tracer
+
+    clients = max(int(x) for x in args.clients.split(","))
+    prior = get_tracer()
+    best = {False: float("inf"), True: float("inf")}
+    digests: dict[bool, str] = {}
+    spans = 0
+    try:
+        for _ in range(args.overhead_repeats):
+            for traced in (False, True):
+                tracer = Tracer() if traced else None
+                set_tracer(tracer)
+                t0 = perf_counter()
+                report = run_point(
+                    engine, clients=clients, n_requests=args.requests,
+                    serve_batch_size=8, embed_budget=args.embed_budget,
+                    seed=args.seed,
+                )
+                best[traced] = min(best[traced], perf_counter() - t0)
+                digests[traced] = report.digest()
+                if traced:
+                    spans = len(tracer)
+    finally:
+        set_tracer(prior)
+    ratio = best[True] / best[False]
+    if digests[True] != digests[False]:
+        failures.append(
+            f"tracing perturbed the serving digest: "
+            f"{digests[False]} (off) vs {digests[True]} (on)"
+        )
+    if not spans:
+        failures.append("traced run recorded no spans — tracer not wired?")
+    if ratio > 1.0 + args.overhead_budget:
+        failures.append(
+            f"tracing overhead {ratio:.3f}x exceeds the "
+            f"{args.overhead_budget:.0%} budget (min of "
+            f"{args.overhead_repeats}: {best[False] * 1e3:.1f}ms off vs "
+            f"{best[True] * 1e3:.1f}ms on)"
+        )
+    print(
+        f"trace overhead at clients={clients}: {ratio:.3f}x "
+        f"(budget {1.0 + args.overhead_budget:.2f}x, {spans} spans/run, "
+        f"digest stable)"
+    )
+    return ratio
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="Offered load vs serving latency/throughput"
@@ -235,6 +295,20 @@ def main(argv: list[str] | None = None) -> int:
                         dest="fleet_json",
                         help="fleet artifact path (default benchmarks/"
                         "results/BENCH_serving_fleet.json); 'none' disables")
+    parser.add_argument("--trace-overhead", action="store_true",
+                        dest="trace_overhead",
+                        help="run only the observability overhead gate: "
+                        "serve the peak point with the tracer off vs on, "
+                        "assert wall-time ratio within --overhead-budget "
+                        "and digest equality")
+    parser.add_argument("--overhead-repeats", type=int, default=5,
+                        dest="overhead_repeats", metavar="N",
+                        help="min-of-N repeats per arm for the overhead "
+                        "gate, default 5")
+    parser.add_argument("--overhead-budget", type=float, default=0.02,
+                        dest="overhead_budget", metavar="FRACTION",
+                        help="allowed traced/untraced wall-time overhead, "
+                        "default 0.02 (2%%)")
     args = parser.parse_args(argv)
 
     if args.gate:
@@ -253,6 +327,16 @@ def main(argv: list[str] | None = None) -> int:
     engine = Engine(cfg)
     engine.train(cfg.epochs)
     reference = layerwise_inference(engine.model, engine.graph)
+
+    if args.trace_overhead:
+        failures: list[str] = []
+        run_trace_overhead(engine, args, failures)
+        if failures:
+            for f in failures:
+                print(f"error: {f}", file=sys.stderr)
+            return 1
+        print("ok: tracing overhead within budget, digest unperturbed")
+        return 0
 
     rows = []
     failures = []

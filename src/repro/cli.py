@@ -156,6 +156,7 @@ def build_parser() -> argparse.ArgumentParser:
                      default=None,
                      help="double-buffer bulks: overlap sampling+fetch of "
                      "bulk k+1 with training on bulk k (simulated clock)")
+    _add_obs_flags(trn)
 
     srv = sub.add_parser(
         "serve",
@@ -232,6 +233,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="serve each replica in its own worker process "
                      "over a shared-memory graph (default 0 = in-process; "
                      "needs an open-loop trace and no autoscaler)")
+    _add_obs_flags(srv)
 
     stm = sub.add_parser(
         "stream",
@@ -292,13 +294,69 @@ def build_parser() -> argparse.ArgumentParser:
     stm.add_argument("--workers", type=int, default=None,
                      help="serve each replica in its own worker process "
                      "over a shared-memory graph (default 0 = in-process)")
+    _add_obs_flags(stm)
 
     swp = sub.add_parser("sweep", help="figure-4-style GPU-count sweep")
     swp.add_argument("dataset", choices=datasets)
     swp.add_argument("--algorithm", default="replicated",
                      choices=sweep_algorithms)
     swp.add_argument("--gpus", default="4,8,16,32")
+
+    trc = sub.add_parser(
+        "trace",
+        help="summarize (or schema-check) an exported trace JSON",
+        description="Reads a Chrome trace-event JSON written by "
+        "--trace (or any Perfetto-loadable file) and prints the top "
+        "spans by self-time, the per-category breakdown, and the "
+        "slowest-request exemplars.",
+    )
+    trc.add_argument("file", metavar="TRACE.json")
+    trc.add_argument("--top", type=int, default=10, metavar="N",
+                     help="rows per section, default 10")
+    trc.add_argument("--validate", action="store_true",
+                     help="schema-check only: exit 0 if the file is a "
+                     "well-formed Chrome trace, 1 with errors listed")
     return parser
+
+
+def _add_obs_flags(sub_parser) -> None:
+    sub_parser.add_argument(
+        "--trace", default=None, metavar="OUT.json", dest="trace",
+        help="record spans and write a Chrome trace-event JSON "
+        "(load in Perfetto or chrome://tracing; summarize with "
+        "`repro trace OUT.json`)",
+    )
+    sub_parser.add_argument(
+        "--metrics", action="store_true",
+        help="collect counters/histograms and print a Prometheus-style "
+        "text dump after the run",
+    )
+
+
+def _setup_obs(args) -> None:
+    """Install the tracer / metrics registry the flags ask for (before
+    any engine or worker-pool construction, so pools inherit tracing)."""
+    from repro.obs import MetricsRegistry, Tracer, set_registry, set_tracer
+    from repro.obs.trace import get_tracer
+
+    if getattr(args, "trace", None) and get_tracer() is None:
+        set_tracer(Tracer())
+    if getattr(args, "metrics", False):
+        set_registry(MetricsRegistry())
+
+
+def _finish_obs(args) -> None:
+    """Write the trace file / print the metrics dump, if enabled."""
+    from repro.obs import get_registry, write_chrome_trace
+    from repro.obs.trace import get_tracer
+
+    tracer = get_tracer()
+    if getattr(args, "trace", None) and tracer is not None:
+        path = write_chrome_trace(args.trace, tracer.spans)
+        print(f"wrote trace: {path} ({len(tracer)} spans)")
+    registry = get_registry()
+    if getattr(args, "metrics", False) and registry is not None:
+        print(registry.render(), end="")
 
 
 def _cmd_info() -> int:
@@ -427,6 +485,7 @@ def _cmd_train(args) -> int:
             raise ValueError(
                 "no dataset given (positional argument or --config)"
             )
+        _setup_obs(args)
         engine = Engine(cfg)
         print(f"dataset {cfg.dataset} (scale {cfg.scale}): "
               f"sampler {cfg.sampler}, algorithm {cfg.algorithm}, "
@@ -461,6 +520,7 @@ def _cmd_train(args) -> int:
         print(f"test accuracy: {engine.evaluate('test'):.3f}")
     finally:
         engine.close()  # shut down worker pools (--workers) promptly
+    _finish_obs(args)
     return 0
 
 
@@ -477,22 +537,21 @@ def _cmd_serve(args) -> int:
             )
         if args.epochs is None and args.config is None:
             cfg = cfg.replace(epochs=1)
+        _setup_obs(args)
         engine = Engine(cfg)
+        # One consolidated banner up front: the dataset/serving knobs plus
+        # — when anything forces the fleet path (including --workers) —
+        # the effective replica/router/worker config with the kernel.
         print(f"dataset {cfg.dataset} (scale {cfg.scale}): sampler "
-              f"{cfg.sampler}, serve_batch_size={cfg.serve_batch_size}, "
+              f"{cfg.sampler}, kernel {cfg.kernel}, "
+              f"serve_batch_size={cfg.serve_batch_size}, "
               f"serve_max_wait={cfg.serve_max_wait}, "
               f"embed_budget={cfg.embed_budget:.0f}")
+        fleet_line = _fleet_banner(cfg)
+        if fleet_line is not None:
+            print(fleet_line)
         engine.train(cfg.epochs)
         server = engine.serving()
-        from repro.serve import ServingCluster
-
-        if isinstance(server, ServingCluster):
-            line = (f"fleet: {cfg.replicas} replica(s), router "
-                    f"{cfg.router}, shed_policy {cfg.shed_policy}")
-            if cfg.slo_p99 > 0:
-                line += (f", autoscaling to p99<={cfg.slo_p99:g}s in "
-                         f"[{cfg.autoscale_min}, {cfg.autoscale_max}]")
-            print(line)
         if args.requests is not None:
             workload = load_trace(args.requests)
         else:
@@ -529,7 +588,33 @@ def _cmd_serve(args) -> int:
     )
     print(f"service breakdown: {phases}")
     print(f"logits digest: {report.digest()}")
+    _finish_obs(args)
     return 0
+
+
+def _fleet_banner(cfg) -> str | None:
+    """The serve/stream fleet banner, or None for a single-server run.
+
+    Mirrors Engine.serving's fleet auto-detection, so the banner prints
+    exactly when a ServingCluster will be built — including when --workers
+    alone forces the fleet path.
+    """
+    fleet = (
+        cfg.replicas > 1
+        or cfg.router != "direct"
+        or cfg.shed_policy != "none"
+        or cfg.slo_p99 > 0
+        or cfg.workers > 0
+    )
+    if not fleet:
+        return None
+    line = (f"fleet: {cfg.replicas} replica(s), router {cfg.router}, "
+            f"shed_policy {cfg.shed_policy}, workers {cfg.workers}, "
+            f"kernel {cfg.kernel}")
+    if cfg.slo_p99 > 0:
+        line += (f", autoscaling to p99<={cfg.slo_p99:g}s in "
+                 f"[{cfg.autoscale_min}, {cfg.autoscale_max}]")
+    return line
 
 
 def _cmd_stream(args) -> int:
@@ -545,11 +630,16 @@ def _cmd_stream(args) -> int:
             )
         if args.epochs is None and args.config is None:
             cfg = cfg.replace(epochs=1)
+        _setup_obs(args)
         engine = Engine(cfg)
         print(f"dataset {cfg.dataset} (scale {cfg.scale}): sampler "
-              f"{cfg.sampler}, serve_batch_size={cfg.serve_batch_size}, "
+              f"{cfg.sampler}, kernel {cfg.kernel}, "
+              f"serve_batch_size={cfg.serve_batch_size}, "
               f"embed_budget={cfg.embed_budget:.0f}, "
               f"compaction_threshold={cfg.compaction_threshold}")
+        fleet_line = _fleet_banner(cfg)
+        if fleet_line is not None:
+            print(fleet_line)
         engine.train(cfg.epochs)
         server = engine.serving()
         pool = engine.graph.test_idx
@@ -596,6 +686,33 @@ def _cmd_stream(args) -> int:
             return 1
         print("verified: post-churn logits bit-identical to from-scratch "
               "rebuild")
+    _finish_obs(args)
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.obs import (
+        format_trace_summary,
+        load_trace_file,
+        validate_chrome_trace,
+    )
+
+    try:
+        payload = load_trace_file(args.file)
+    except (OSError, ValueError) as exc:
+        return _user_error(exc)
+    if args.validate:
+        errors = validate_chrome_trace(payload)
+        if errors:
+            for problem in errors[:20]:
+                print(f"schema: {problem}", file=sys.stderr)
+            if len(errors) > 20:
+                print(f"schema: ... and {len(errors) - 20} more",
+                      file=sys.stderr)
+            return 1
+        print(f"valid Chrome trace: {args.file}")
+        return 0
+    print(format_trace_summary(payload, top=args.top))
     return 0
 
 
@@ -665,6 +782,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_stream(args)
         if args.command == "sweep":
             return _cmd_sweep(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
     except BrokenPipeError:  # e.g. `repro train ... | head`
         return 0
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover

@@ -332,6 +332,22 @@ class ProbCache:
     def clear(self) -> None:
         self._store.clear()
 
+    def publish(self, registry, **labels) -> None:
+        """Copy the hit/miss counters into a metrics registry
+        (:mod:`repro.obs.metrics`) under ``prob_cache_*`` names."""
+        registry.counter(
+            "prob_cache_hits_total",
+            "probability-matrix cache hits", **labels,
+        ).set(self.hits)
+        registry.counter(
+            "prob_cache_misses_total",
+            "probability-matrix cache misses", **labels,
+        ).set(self.misses)
+        registry.gauge(
+            "prob_cache_entries",
+            "probability matrices currently cached", **labels,
+        ).set(len(self._store))
+
 
 # ---------------------------------------------------------------------- #
 # The row-gather SpGEMM specialization

@@ -47,6 +47,7 @@ from typing import TYPE_CHECKING, Sequence, Union
 
 import numpy as np
 
+from ..obs.trace import get_tracer, plan_step_name
 from ..sparse import CSRMatrix, vstack
 from .frontier import LayerSample, MinibatchSample
 
@@ -284,8 +285,23 @@ class LocalExecutor:
     # Driver
     # ------------------------------------------------------------------ #
     def run(self, plan: SamplingPlan) -> list[MinibatchSample]:
-        for step in plan.steps:
-            self._dispatch(step)
+        tracer = get_tracer()
+        if tracer is None:
+            for step in plan.steps:
+                self._dispatch(step)
+        else:
+            # One wall-clock span per plan step (the sim clock is charged
+            # per whole plan, not per step).  Wrapping here, not in
+            # _dispatch, covers the compiled executor's fused-step
+            # override through the same single hook.
+            for step in plan.steps:
+                with tracer.span(
+                    plan_step_name(step),
+                    cat="plan",
+                    domain="wall",
+                    args={"phase": step_phase(step), "k": self.k},
+                ):
+                    self._dispatch(step)
         return [
             self.results[i]
             if self.results[i] is not None

@@ -1,0 +1,56 @@
+"""Unified observability: tracing, metrics, and trace exporters.
+
+``repro.obs`` is the one substrate every layer reports into:
+
+* :mod:`repro.obs.trace` — the span tracer (sim- and wall-clock domains,
+  per-track sequences, cross-process shipping);
+* :mod:`repro.obs.metrics` — the labeled Counter/Gauge/Histogram
+  registry with a Prometheus-style text exporter;
+* :mod:`repro.obs.export` — Chrome ``trace_event`` JSON (Perfetto) and
+  the schema validator CI gates on;
+* :mod:`repro.obs.summary` — the ``repro trace`` human summary.
+
+Both the tracer and the registry are off (``None``) by default, and every
+instrumentation site starts with that ``None`` check — tracing disabled
+is a no-op and never perturbs RNG streams or golden digests.
+"""
+
+from .export import (
+    chrome_trace,
+    chrome_trace_json,
+    validate_chrome_trace,
+    validate_chrome_trace_file,
+    write_chrome_trace,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+from .summary import format_trace_summary, load_trace_file, summarize_trace
+from .trace import Span, Tracer, get_tracer, maybe_span, set_tracer
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "maybe_span",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+    "chrome_trace",
+    "chrome_trace_json",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "validate_chrome_trace_file",
+    "format_trace_summary",
+    "load_trace_file",
+    "summarize_trace",
+]

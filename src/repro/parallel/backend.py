@@ -37,6 +37,7 @@ import numpy as np
 from ..core import MinibatchSample
 from ..distributed import replicated_bulk_sampling
 from ..distributed.instrument import CALL_OVERHEAD_S, KERNELS_PER_LAYER
+from ..obs.trace import maybe_span
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..pipeline.trainer import TrainingPipeline
@@ -97,9 +98,15 @@ class ParallelBackend:
                 cfg.fanout, seed=seed, kernel=cfg.kernel,
             )
         with comm.phase("sampling"):
-            samples, totals = self.pool.sample_bulk(
-                self.spec, list(bulk), list(range(len(bulk))), seed
-            )
+            # Wall-domain: the pool round-trip is real elapsed time the
+            # simulated clock cannot see (it charges modeled totals below).
+            with maybe_span(
+                "pool.sample_bulk", cat="pool", domain="wall", track="pool",
+                args={"batches": len(bulk), "workers": len(self.pool)},
+            ):
+                samples, totals = self.pool.sample_bulk(
+                    self.spec, list(bulk), list(range(len(bulk))), seed
+                )
             comm.compute(
                 0,
                 flops=totals["flops"],

@@ -37,6 +37,7 @@ import dataclasses
 from typing import TYPE_CHECKING, Any
 
 from ..comm.clock import SimClock
+from ..obs.trace import get_tracer
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..serve.cluster import ServingCluster
@@ -112,7 +113,7 @@ def _serve_replica_task(adj, features, payload: dict) -> dict:
     def absorb(update) -> None:
         result = stream.apply(update)
         at = max(rep.free, update.at)
-        rep.free = at + rep.absorb_update(result)
+        rep.free = at + rep.absorb_update(result, at=at)
 
     while True:
         dispatch = rep.batcher.next_dispatch(rep.queue, rep.free)
@@ -198,9 +199,23 @@ def process_parallel(
     # before any serving starts in an open-loop run.
     by_rid = cluster._by_rid()
     assigned: dict[int, list] = {rep.rid: [] for rep in cluster.replicas}
+    tracer = get_tracer()
     for req in workload.initial():
-        rep = by_rid[cluster.router.route(req)]
-        if cluster.admission.admit(rep, req):
+        rid = cluster.router.route(req)
+        rep = by_rid[rid]
+        admitted = cluster.admission.admit(rep, req)
+        if tracer is not None:
+            # Identical to ServingCluster._submit's route instant, so the
+            # router track matches the serial run event for event.
+            tracer.instant(
+                "route", t=req.arrival, cat="router", track="router",
+                args={
+                    "req": int(req.rid),
+                    "replica": int(rid),
+                    "admitted": bool(admitted),
+                },
+            )
+        if admitted:
             rep.queue.push(req)
             assigned[rep.rid].append(req)
 

@@ -33,6 +33,7 @@ from typing import Any, Callable, Sequence
 import numpy as np
 
 from ..core.bulk import assign_round_robin, batch_rng, reassemble_round_robin
+from ..obs.trace import Tracer, get_tracer, maybe_span, set_tracer
 from .shm import SharedFeatures, SharedGraph, ensure_parallel_support
 
 __all__ = ["SamplerSpec", "WorkerPool", "WorkerError", "sampling_cost_totals"]
@@ -112,9 +113,19 @@ def sampling_cost_totals(recorder, fanout: Sequence[int]) -> dict[str, float]:
 # ---------------------------------------------------------------------- #
 # Worker side
 # ---------------------------------------------------------------------- #
-def _worker_main(conn, graph_handle, features_handle) -> None:
+def _worker_main(
+    conn, graph_handle, features_handle, worker_index: int = 0,
+    trace: bool = False,
+) -> None:
     """Entry point of one warm worker (module-level: spawn pickles it by
-    qualified name).  Attach once, then serve tasks until shutdown."""
+    qualified name).  Attach once, then serve tasks until shutdown.
+
+    With ``trace`` on (the owner had a tracer installed at pool startup)
+    the worker installs its own :class:`~repro.obs.trace.Tracer`, wraps
+    each task in a wall span on the ``worker{i}`` track, and ships the
+    drained spans back with every reply — the owner absorbs them, so the
+    merged trace shows worker-side time without any shared state.
+    """
     import signal
 
     # The owner coordinates interrupts: a ^C in the parent must not also
@@ -123,6 +134,13 @@ def _worker_main(conn, graph_handle, features_handle) -> None:
     signal.signal(signal.SIGINT, signal.SIG_IGN)
 
     from ..distributed.instrument import RecordingSpGEMM
+
+    if trace and get_tracer() is None:
+        # REPRO_TRACE in the environment already installed one at import
+        # (spawn re-imports repro); this covers owner-side set_tracer().
+        set_tracer(Tracer())
+    tracer = get_tracer()
+    track = f"worker{worker_index}"
 
     adj, _keep = graph_handle.attach()
     features = None
@@ -154,18 +172,29 @@ def _worker_main(conn, graph_handle, features_handle) -> None:
                     sampler = samplers[digest] = spec.build(adj)
                 recorder = RecordingSpGEMM(kernel=getattr(sampler, "kernel", None))
                 rngs = [batch_rng(seed, int(i)) for i in indices]
-                samples = sampler.sample_bulk(
-                    adj, batches, spec.fanout, rngs, spgemm_fn=recorder
-                )
+                with maybe_span(
+                    "sample_bulk", cat="pool", domain="wall", track=track,
+                    args={"batches": len(batches)},
+                ):
+                    samples = sampler.sample_bulk(
+                        adj, batches, spec.fanout, rngs, spgemm_fn=recorder
+                    )
                 result = (samples, sampling_cost_totals(recorder, spec.fanout))
             elif kind == "call":
                 func, payload = msg[2], msg[3]
-                result = func(adj, features, payload)
+                with maybe_span(
+                    getattr(func, "__name__", "call"), cat="pool",
+                    domain="wall", track=track,
+                ):
+                    result = func(adj, features, payload)
             else:
                 raise ValueError(f"unknown pool message kind {kind!r}")
-            conn.send(("ok", task_id, result))
+            spans = tracer.drain() if tracer is not None else []
+            conn.send(("ok", task_id, result, spans))
         except BaseException:
-            conn.send(("error", task_id, traceback.format_exc()))
+            if tracer is not None:
+                tracer.drain()  # never let a failed task's spans pile up
+            conn.send(("error", task_id, traceback.format_exc(), []))
 
 
 # ---------------------------------------------------------------------- #
@@ -205,7 +234,7 @@ class WorkerPool:
         self._workers: list[_Worker] = []
         self._task_seq = 0
         try:
-            for _ in range(workers):
+            for index in range(workers):
                 parent_conn, child_conn = ctx.Pipe(duplex=True)
                 proc = ctx.Process(
                     target=_worker_main,
@@ -213,6 +242,8 @@ class WorkerPool:
                         child_conn,
                         shared_graph.handle,
                         self.features.handle if self.features else None,
+                        index,
+                        get_tracer() is not None,
                     ),
                     daemon=True,
                 )
@@ -246,7 +277,14 @@ class WorkerPool:
                     f"pool worker pid={worker.process.pid} died with exit "
                     f"code {worker.process.exitcode} before replying"
                 )
-        status, got_id, payload = worker.conn.recv()
+        reply = worker.conn.recv()
+        status, got_id, payload = reply[0], reply[1], reply[2]
+        # Shipped worker spans ride every reply (4th element); absorb them
+        # before any error handling so a raising task still reports time.
+        if len(reply) > 3 and reply[3]:
+            tracer = get_tracer()
+            if tracer is not None:
+                tracer.absorb(reply[3])
         if status == "error":
             raise WorkerError(
                 f"pool worker pid={worker.process.pid} raised:\n{payload}"

@@ -87,6 +87,26 @@ class CacheStats:
         self.miss_bytes = 0.0
         self.invalidations = 0
 
+    def publish(self, registry, **labels) -> None:
+        """Copy the counters into a metrics registry
+        (:mod:`repro.obs.metrics`) under ``feature_cache_*`` names."""
+        for name, help_text, value in (
+            ("feature_cache_requests_total", "feature rows requested", self.requests),
+            ("feature_cache_hits_total", "rows served from the replica", self.hits),
+            ("feature_cache_misses_total", "rows fetched over the wire", self.misses),
+            ("feature_cache_hit_bytes_total", "wire bytes avoided", self.hit_bytes),
+            ("feature_cache_miss_bytes_total", "wire bytes paid", self.miss_bytes),
+            (
+                "feature_cache_invalidations_total",
+                "replicated rows dropped by updates",
+                self.invalidations,
+            ),
+        ):
+            registry.counter(name, help_text, **labels).set(value)
+        registry.gauge(
+            "feature_cache_hit_rate", "fraction of rows served locally", **labels
+        ).set(self.hit_rate)
+
 
 class CachedFeatureStore:
     """A replication-budgeted feature cache layered over a FeatureStore.

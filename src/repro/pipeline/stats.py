@@ -79,6 +79,52 @@ class EpochStats:
             return 0.0
         return self.total - self.pipelined_total
 
+    def publish(self, registry, **labels) -> None:
+        """Copy the epoch's accounting into a metrics registry
+        (:mod:`repro.obs.metrics`) under ``train_*`` names."""
+        for phase, seconds in (
+            ("sampling", self.sampling),
+            ("feature_fetch", self.feature_fetch),
+            ("propagation", self.propagation),
+        ):
+            registry.counter(
+                "train_phase_seconds_total",
+                "simulated seconds by training phase", phase=phase, **labels,
+            ).inc(seconds)
+        for phase, seconds in self.sub_phases.items():
+            registry.counter(
+                "train_subphase_seconds_total",
+                "simulated seconds by sampling sub-phase", phase=phase,
+                **labels,
+            ).inc(seconds)
+        registry.counter(
+            "train_epoch_seconds_total",
+            "simulated epoch seconds under the configured schedule", **labels,
+        ).inc(self.epoch_seconds)
+        registry.counter(
+            "train_bytes_sent_total", "simulated bytes communicated", **labels
+        ).inc(self.bytes_sent)
+        registry.counter(
+            "train_batches_total", "minibatches trained", **labels
+        ).inc(self.n_batches)
+        if self.loss is not None:
+            registry.gauge(
+                "train_loss", "mean minibatch loss of the last epoch",
+                **labels,
+            ).set(self.loss)
+        if self.fetch_hit_rate is not None:
+            registry.counter(
+                "train_fetch_hits_total", "feature-cache row hits", **labels
+            ).inc(self.fetch_hits)
+            registry.counter(
+                "train_fetch_misses_total", "feature-cache row misses",
+                **labels,
+            ).inc(self.fetch_misses)
+            registry.gauge(
+                "train_fetch_hit_rate",
+                "feature-cache hit rate of the last epoch", **labels,
+            ).set(self.fetch_hit_rate)
+
     def row(self) -> dict[str, object]:
         """Flat dict for tabular reporting."""
         out: dict[str, object] = {

@@ -39,6 +39,8 @@ from ..gnn import (
     softmax_cross_entropy,
 )
 from ..graphs import Graph
+from ..obs.metrics import get_registry
+from ..obs.trace import maybe_span
 from ..partition import CachedFeatureStore, FeatureStore
 from .schedule import overlapped_makespan
 from .stats import BulkStats, EpochStats
@@ -172,28 +174,42 @@ class TrainingPipeline:
         trains: list[float] = []
         prev_prep, prev_train = self._stage_seconds()
         for bulk_idx, bulk in enumerate(chunk_bulks(batches, k)):
-            per_rank = self._sample_bulk(bulk, seed=cfg.seed + 31 * bulk_idx + epoch)
-            bulk_losses: list[float] = []
-            rounds = max(len(s) for s in per_rank)
-            for t in range(rounds):
-                current = [
-                    s[t] if t < len(s) else None for s in per_rank
-                ]
-                fetched = self._fetch_features(current)
-                loss = self._propagate(current, fetched)
-                if loss is not None:
-                    bulk_losses.append(loss)
-            losses.extend(bulk_losses)
-            if isinstance(self.store, CachedFeatureStore):
-                # LFU re-ranks at bulk boundaries; rows newly entering the
-                # replica are charged as replication-fill traffic, kept in
-                # its own phase so the on-demand fetch volume stays
-                # separately measurable (the Figure-6 quantity).  Runs
-                # before the stage snapshot so the fill lands in this
-                # bulk's prep window and the overlap makespan sees every
-                # charged second.
-                with self.comm.phase("cache_fill"):
-                    self.store.refresh(self.comm)
+            # The bulk span closes before the yield: a suspended generator
+            # must not hold a span open across whatever the caller does.
+            with maybe_span(
+                "bulk", cat="train", track="train", clock=self.comm.clock,
+                args={"bulk": bulk_idx, "n_batches": len(bulk)},
+            ):
+                with maybe_span("sample_bulk", cat="train"):
+                    per_rank = self._sample_bulk(
+                        bulk, seed=cfg.seed + 31 * bulk_idx + epoch
+                    )
+                bulk_losses: list[float] = []
+                rounds = max(len(s) for s in per_rank)
+                with maybe_span(
+                    "fetch+train", cat="train", args={"rounds": rounds}
+                ):
+                    for t in range(rounds):
+                        current = [
+                            s[t] if t < len(s) else None for s in per_rank
+                        ]
+                        fetched = self._fetch_features(current)
+                        loss = self._propagate(current, fetched)
+                        if loss is not None:
+                            bulk_losses.append(loss)
+                losses.extend(bulk_losses)
+                if isinstance(self.store, CachedFeatureStore):
+                    # LFU re-ranks at bulk boundaries; rows newly entering
+                    # the replica are charged as replication-fill traffic,
+                    # kept in its own phase so the on-demand fetch volume
+                    # stays separately measurable (the Figure-6 quantity).
+                    # Runs before the stage snapshot so the fill lands in
+                    # this bulk's prep window and the overlap makespan sees
+                    # every charged second.
+                    with maybe_span("cache_fill", cat="train"), self.comm.phase(
+                        "cache_fill"
+                    ):
+                        self.store.refresh(self.comm)
             cur_prep, cur_train = self._stage_seconds()
             preps.append(cur_prep - prev_prep)
             trains.append(cur_train - prev_train)
@@ -298,7 +314,7 @@ class TrainingPipeline:
             if isinstance(self.store, CachedFeatureStore)
             else None
         )
-        return EpochStats(
+        stats = EpochStats(
             sampling=sampling,
             # Replication fill (LFU refresh traffic) is feature time too;
             # its volume stays separately attributed under "cache_fill".
@@ -330,6 +346,12 @@ class TrainingPipeline:
             fetch_hit_rate=cache.hit_rate if cache else None,
             fetch_bytes_saved=cache.hit_bytes if cache else 0.0,
         )
+        registry = get_registry()
+        if registry is not None:
+            stats.publish(registry)
+            if cache is not None:
+                cache.publish(registry)
+        return stats
 
     # ------------------------------------------------------------------ #
     # Evaluation

@@ -21,6 +21,7 @@ fleet's :class:`~repro.serve.engine.ServeReport`.
 
 from __future__ import annotations
 
+from ..obs.trace import get_tracer
 from .request import InferenceRequest
 
 __all__ = ["AdmissionController", "SHED_POLICIES"]
@@ -67,5 +68,20 @@ class AdmissionController:
         if self.policy != "deadline":
             return batch
         kept = [r for r in batch if now - r.arrival <= self.deadline]
-        replica.stats.shed += len(batch) - len(kept)
+        dropped = len(batch) - len(kept)
+        replica.stats.shed += dropped
+        if dropped:
+            tracer = get_tracer()
+            if tracer is not None:
+                # Shed events land on the shedding replica's track (it runs
+                # replica-side, so parallel workers record it identically).
+                kept_set = {r.rid for r in kept}
+                rid = getattr(replica, "rid", 0)
+                for r in batch:
+                    if r.rid not in kept_set:
+                        tracer.instant(
+                            "shed", t=now, cat="router",
+                            track=f"replica{rid}",
+                            args={"req": int(r.rid), "waited": now - r.arrival},
+                        )
         return kept

@@ -64,6 +64,28 @@ class ServeStats:
         self.invalidations = 0
         self.shed = 0
 
+    def publish(self, registry, **labels) -> None:
+        """Copy the counters into a metrics registry
+        (:mod:`repro.obs.metrics`) under ``serve_cache_*`` /
+        ``serve_shed_total`` names, labeled e.g. by replica."""
+        for name, help_text, value in (
+            ("serve_cache_requests_total", "embedding rows requested", self.requests),
+            ("serve_cache_hits_total", "embedding rows served from cache", self.hits),
+            ("serve_cache_misses_total", "embedding rows recomputed", self.misses),
+            ("serve_cache_inserts_total", "embedding rows inserted", self.inserts),
+            ("serve_cache_evictions_total", "budget evictions", self.evictions),
+            (
+                "serve_cache_invalidations_total",
+                "rows dropped by graph updates",
+                self.invalidations,
+            ),
+            ("serve_shed_total", "inference requests shed by admission", self.shed),
+        ):
+            registry.counter(name, help_text, **labels).set(value)
+        registry.gauge(
+            "serve_cache_hit_rate", "fraction of rows served from cache", **labels
+        ).set(self.hit_rate)
+
 
 class EmbeddingCache:
     """An exact, byte-budgeted cache of ``h^{L-1}`` rows.

@@ -42,6 +42,8 @@ import numpy as np
 from ..comm.clock import SimClock
 from ..gnn.model import GNNModel
 from ..graphs import Graph
+from ..obs.metrics import get_registry
+from ..obs.trace import get_tracer
 from .admission import AdmissionController
 from .cache import ServeStats
 from .engine import ServeReport
@@ -162,8 +164,24 @@ class ServingCluster:
         return {rep.rid: rep for rep in self.replicas}
 
     def _submit(self, request: InferenceRequest) -> None:
-        rep = self._by_rid()[self.router.route(request)]
-        if self.admission.admit(rep, request):
+        rid = self.router.route(request)
+        rep = self._by_rid()[rid]
+        admitted = self.admission.admit(rep, request)
+        tracer = get_tracer()
+        if tracer is not None:
+            # The flight recorder's first hop: the routing decision, keyed
+            # by the request's rid (the same trace id the replica's async
+            # window carries).  Recorded identically by the parallel path's
+            # parent-side routing loop (repro.parallel.fleet).
+            tracer.instant(
+                "route", t=request.arrival, cat="router", track="router",
+                args={
+                    "req": int(request.rid),
+                    "replica": int(rid),
+                    "admitted": bool(admitted),
+                },
+            )
+        if admitted:
             rep.queue.push(request)
 
     def _broadcast_update(self, batch) -> None:
@@ -176,7 +194,7 @@ class ServingCluster:
         result = self.stream.apply(batch)
         for rep in self.replicas:
             at = max(rep.free, batch.at)
-            rep.free = at + rep.absorb_update(result)
+            rep.free = at + rep.absorb_update(result, at=at)
 
     def _autoscale_step(self, window: list[InferenceResult], now: float) -> None:
         """One autoscaler evaluation: maybe add or retire a replica."""
@@ -187,6 +205,12 @@ class ServingCluster:
             else None
         )
         target = scaler.decide(p99, len(self.replicas))
+        tracer = get_tracer()
+        if tracer is not None and target != len(self.replicas):
+            tracer.instant(
+                "autoscale", t=now, cat="router", track="router",
+                args={"from": len(self.replicas), "to": target},
+            )
         if target == len(self.replicas):
             return
         if target > len(self.replicas):
@@ -343,7 +367,7 @@ class ServingCluster:
                         cache_stats, f.name,
                         getattr(cache_stats, f.name) + getattr(rep.stats, f.name),
                     )
-        return ServeReport(
+        report = ServeReport(
             results=results,
             batches=batches,
             phase_seconds=SimClock.merged(
@@ -360,3 +384,19 @@ class ServingCluster:
             replica_trace=trace,
             per_replica={rep.rid: rep.served for rep in everyone},
         )
+        registry = get_registry()
+        if registry is not None:
+            report.publish(registry)
+            registry.gauge(
+                "serve_replicas", "live replicas at end of run",
+                router=getattr(self.router, "name", type(self.router).__name__),
+            ).set(len(self.replicas))
+            for rep in everyone:
+                rep.stats.publish(registry, replica=rep.rid)
+                registry.counter(
+                    "serve_replica_requests_total",
+                    "requests served per replica", replica=rep.rid,
+                ).set(rep.served)
+                if rep.prob_cache is not None:
+                    rep.prob_cache.publish(registry, replica=rep.rid)
+        return report

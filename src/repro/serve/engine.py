@@ -60,6 +60,7 @@ import numpy as np
 
 from ..gnn.model import GNNModel
 from ..graphs import Graph
+from ..obs.metrics import get_registry
 from .cache import ServeStats
 from .replica import Replica
 from .request import InferenceRequest, InferenceResult, RequestQueue
@@ -129,6 +130,45 @@ class ServeReport:
             h.update(np.ascontiguousarray(r.request.vertices).tobytes())
             h.update(np.ascontiguousarray(r.logits).tobytes())
         return h.hexdigest()
+
+    def publish(self, registry, **labels) -> None:
+        """Publish this report into a metrics registry
+        (:mod:`repro.obs.metrics`) without touching any public field.
+
+        Counters/gauges for the run totals and phase seconds, a latency
+        histogram over the per-request latencies, and the nested
+        cache/stream counters via their own ``publish`` hooks.
+        """
+        registry.counter(
+            "serve_requests_total", "inference requests served", **labels
+        ).inc(self.n_requests)
+        registry.counter(
+            "serve_batches_total", "micro-batches dispatched", **labels
+        ).inc(self.batches)
+        registry.gauge(
+            "serve_throughput_req_per_s", "requests per simulated second",
+            **labels,
+        ).set(self.throughput)
+        hist = registry.histogram(
+            "serve_latency_seconds", "end-to-end request latency (simulated)",
+            **labels,
+        )
+        for latency in self.latencies:
+            hist.observe(float(latency))
+        for phase, seconds in self.phase_seconds.items():
+            registry.counter(
+                "serve_phase_seconds_total", "simulated seconds by phase",
+                phase=phase, **labels,
+            ).inc(seconds)
+        if self.shed:
+            registry.counter(
+                "serve_shed_total", "inference requests shed by admission",
+                **labels,
+            ).set(self.shed)
+        if self.cache_stats is not None:
+            self.cache_stats.publish(registry, **labels)
+        if self.update_stats is not None and hasattr(self.update_stats, "publish"):
+            self.update_stats.publish(registry, **labels)
 
     def row(self) -> dict[str, object]:
         """One reporting row for :func:`repro.bench.format_table`."""
@@ -232,7 +272,7 @@ class ServingEngine:
     # ------------------------------------------------------------------ #
     # Graph updates (streaming serving)
     # ------------------------------------------------------------------ #
-    def apply_update(self, batch) -> float:
+    def apply_update(self, batch, at: float | None = None) -> float:
         """Apply one :class:`~repro.stream.EdgeBatch`; returns sim seconds.
 
         Runs the full protocol: absorb the batch into the delta log (and
@@ -240,6 +280,8 @@ class ServingEngine:
         have the replica absorb the result: refresh the exact-mode fanout,
         drop stale probability matrices, and invalidate reachable cached
         embeddings, all charged to the clock under ``graph_update``.
+        ``at`` is the workload time the absorb starts, used only to place
+        the replica's trace span on the workload timeline.
         """
         if self.stream is None:
             raise ValueError(
@@ -248,7 +290,7 @@ class ServingEngine:
                 "to apply edge updates"
             )
         result = self.stream.apply(batch)
-        return self.replica.absorb_update(result)
+        return self.replica.absorb_update(result, at=at)
 
     # ------------------------------------------------------------------ #
     # Serving entry points
@@ -304,7 +346,7 @@ class ServingEngine:
                 if next_update < len(updates):
                     # Requests drained first: apply the remaining churn.
                     at = max(free, updates[next_update].at)
-                    free = at + self.apply_update(updates[next_update])
+                    free = at + self.apply_update(updates[next_update], at=at)
                     next_update += 1
                     continue
                 break
@@ -316,7 +358,7 @@ class ServingEngine:
                 # the dispatch decision at the new free time.
                 queue.pending = batch + queue.pending
                 at = max(free, updates[next_update].at)
-                free = at + self.apply_update(updates[next_update])
+                free = at + self.apply_update(updates[next_update], at=at)
                 next_update += 1
                 continue
             batch_results = rep.serve_batch(batch, t, batch_index)
@@ -327,7 +369,7 @@ class ServingEngine:
                     queue.push(req)
             batch_index += 1
         results.sort(key=lambda r: r.request.rid)
-        return ServeReport(
+        report = ServeReport(
             results=results,
             batches=batch_index,
             phase_seconds=rep.clock.breakdown(),
@@ -344,3 +386,9 @@ class ServingEngine:
                 else None
             ),
         )
+        registry = get_registry()
+        if registry is not None:
+            report.publish(registry)
+            if rep.prob_cache is not None:
+                rep.prob_cache.publish(registry)
+        return report

@@ -39,6 +39,7 @@ from ..core.sage_sampler import SageSampler
 from ..sparse.kernels import get_kernel
 from ..gnn.model import GNNModel
 from ..graphs import Graph
+from ..obs.trace import get_tracer, maybe_span
 from .cache import EmbeddingCache, ServeStats
 from .request import InferenceRequest, InferenceResult, MicroBatcher, RequestQueue
 
@@ -161,7 +162,7 @@ class Replica:
     # ------------------------------------------------------------------ #
     # Graph updates
     # ------------------------------------------------------------------ #
-    def absorb_update(self, result) -> float:
+    def absorb_update(self, result, at: float | None = None) -> float:
         """React to an applied :class:`~repro.stream.delta.UpdateResult`.
 
         The streaming graph itself is shared (the delta-log merge happened
@@ -170,12 +171,24 @@ class Replica:
         embedding row the change can reach (``dirty_closure`` at depth
         ``L - 2`` on the post-update adjacency).  All of it is charged to
         *this replica's* clock under the ``graph_update`` phase; returns
-        the simulated seconds spent.
+        the simulated seconds spent.  ``at`` is the workload time the
+        absorb starts at, used only to place the trace span.
         """
         from ..stream.graph import dirty_closure
 
         before = self.clock.time(0)
-        with self.clock.phase("graph_update"):
+        with maybe_span(
+            "graph_update",
+            cat="update",
+            track=f"replica{self.rid}",
+            clock=self.clock,
+            offset=(at if at is not None else 0.0) - before,
+            args={
+                "replica": self.rid,
+                "dirty": int(result.dirty_rows.size),
+                "compacted": bool(result.compacted),
+            },
+        ), self.clock.phase("graph_update"):
             cost = result.sim_cost
             # Log absorb + dirty-row re-merge: hash/searchsorted per edge,
             # then a splice that rewrites the merged rows (16B/entry, r+w).
@@ -291,24 +304,30 @@ class Replica:
         model, graph = self.model, self.graph
         n_layers = model.n_layers
         if self.cache is None:
-            with self.clock.phase("sampling"):
+            with maybe_span("sampling", cat="serve"), self.clock.phase("sampling"):
                 sample = self._sample_bulk([targets], self.fanout, rng)[0]
                 self._charge_sampling(sample.layers)
-            with self.clock.phase("propagation"):
+            with maybe_span("propagation", cat="serve"), self.clock.phase(
+                "propagation"
+            ):
                 h = graph.features[sample.input_frontier]
                 logits = self._infer_chain(sample.layers, h, 0)
                 self._charge_forward(sample.layers, self._dims)
             return logits
         # Cached path: the final hop is sampled for the whole frontier, but
         # the deep (L-1)-layer expansion only runs for cache *misses*.
-        with self.clock.phase("sampling"):
+        with maybe_span("sampling", cat="serve"), self.clock.phase("sampling"):
             outer = self._sample_bulk([targets], self.fanout[-1:], rng)[0]
             self._charge_sampling(outer.layers)
         layer_last = outer.layers[0]
         frontier = layer_last.src_ids
-        with self.clock.phase("embedding_cache"):
+        with maybe_span("embedding_cache", cat="serve") as cache_sp, \
+                self.clock.phase("embedding_cache"):
             mask, hit_rows = self.cache.lookup(frontier)
             n_hits = int(mask.sum())
+            if cache_sp is not None:
+                cache_sp.args["hits"] = n_hits
+                cache_sp.args["misses"] = int(frontier.size) - n_hits
             if n_hits:
                 self.clock.advance(
                     0,
@@ -320,12 +339,14 @@ class Replica:
         h_frontier = np.empty((frontier.size, self._dims[-2]))
         misses = frontier[~mask]
         if misses.size:
-            with self.clock.phase("sampling"):
+            with maybe_span("sampling", cat="serve"), self.clock.phase("sampling"):
                 inner = self._sample_bulk(
                     [misses], self.fanout[: n_layers - 1], rng
                 )[0]
                 self._charge_sampling(inner.layers)
-            with self.clock.phase("propagation"):
+            with maybe_span("propagation", cat="serve"), self.clock.phase(
+                "propagation"
+            ):
                 h = graph.features[inner.input_frontier]
                 h_miss = self._infer_chain(inner.layers, h, 0)
                 self._charge_forward(inner.layers, self._dims[:-1])
@@ -333,7 +354,9 @@ class Replica:
             self.cache.insert(misses, h_miss)
         if n_hits:
             h_frontier[mask] = hit_rows
-        with self.clock.phase("propagation"):
+        with maybe_span("propagation", cat="serve"), self.clock.phase(
+            "propagation"
+        ):
             logits = model.convs[-1].infer(layer_last, h_frontier)
             self._charge_forward([layer_last], self._dims[-2:])
         return logits
@@ -356,9 +379,45 @@ class Replica:
             np.random.SeedSequence([self.config.seed, 401, batch_index])
         )
         before = self.clock.time(0)
-        logits = self.logits_for(targets, rng)
+        tracer = get_tracer()
+        if tracer is None:
+            logits = self.logits_for(targets, rng)
+        else:
+            # The batch span (and every phase span nested in logits_for)
+            # lives on this replica's track, with the replica-local clock
+            # mapped onto the workload timeline at the dispatch instant.
+            # Args hold request rids only — nothing worker- or
+            # batch-index-local — so a parallel run's spans are identical
+            # to a serial run's.
+            track = f"replica{self.rid}"
+            with tracer.span(
+                "serve_batch",
+                cat="serve",
+                track=track,
+                clock=self.clock,
+                offset=dispatched - before,
+                args={
+                    "requests": [int(r.rid) for r in batch],
+                    "batch_size": len(batch),
+                    "targets": int(targets.size),
+                },
+            ):
+                logits = self.logits_for(targets, rng)
         service = self.clock.time(0) - before
         completed = dispatched + service
+        if tracer is not None:
+            # Flight recorder: one async window per request, keyed by the
+            # rid (the trace id the router instants carry too), spanning
+            # arrival -> reply on this replica's track.
+            for req in batch:
+                tracer.async_span(
+                    "request",
+                    aid=req.rid,
+                    start=req.arrival,
+                    end=completed,
+                    track=f"replica{self.rid}",
+                    args={"req": int(req.rid), "replica": self.rid},
+                )
         return [
             InferenceResult(
                 request=req,

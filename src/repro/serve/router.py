@@ -54,6 +54,9 @@ __all__ = [
 class Router(Protocol):
     """Picks a replica id for each request."""
 
+    #: Registry name of the policy (what traces and banners print).
+    name: str
+
     def rebalance(self, live: Sequence[int]) -> None:
         """Install the new set of live replica ids (sorted, non-empty)."""
         ...
@@ -65,6 +68,8 @@ class Router(Protocol):
 
 class DirectRouter:
     """Everything to the lowest-id live replica (the N=1 identity policy)."""
+
+    name = "direct"
 
     def __init__(self, n_vertices: int | None = None) -> None:
         self._live: list[int] = []
@@ -83,6 +88,8 @@ class RoundRobinRouter:
     modulo the live count at route time), so adding a replica mid-run
     does not restart the cycle.
     """
+
+    name = "round_robin"
 
     def __init__(self, n_vertices: int | None = None) -> None:
         self._live: list[int] = []
@@ -114,6 +121,8 @@ class ConsistentHashRouter:
     are ego-network lookups whose vertices are spatially close, and using
     a single representative keeps routing O(log ring) per request.
     """
+
+    name = "consistent_hash"
 
     def __init__(
         self,

@@ -77,6 +77,19 @@ class StreamStats:
             "dirty_vertices": self.dirty_vertices,
         }
 
+    def publish(self, registry, **labels) -> None:
+        """Copy the counters into a metrics registry
+        (:mod:`repro.obs.metrics`) under ``stream_*`` names."""
+        for name, help_text, value in (
+            ("stream_update_batches_total", "edge batches applied", self.batches),
+            ("stream_edits_total", "edge ops that changed the graph", self.applied),
+            ("stream_skipped_total", "duplicate inserts / missing deletes", self.skipped),
+            ("stream_compactions_total", "delta-log compactions", self.compactions),
+            ("stream_dirty_vertices_total", "dirty rows across batches", self.dirty_vertices),
+            ("stream_merged_rows_total", "rows re-merged on view refreshes", self.merged_rows),
+        ):
+            registry.counter(name, help_text, **labels).set(value)
+
 
 @dataclass
 class StreamingGraph:

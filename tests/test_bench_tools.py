@@ -461,6 +461,91 @@ class TestCheckRegressionCLI:
             [str(fresh), "--baseline", str(base), "--tolerance", "0.3"]
         ) == 0
 
+    def _write_bench(self, tmp_path, bench, name, metrics, params=None):
+        from repro.bench import write_bench_artifact
+
+        return write_bench_artifact(
+            bench, params=params or {"s": 1}, metrics=metrics,
+            rows=[], path=tmp_path / name,
+        )
+
+    @pytest.fixture()
+    def local_baselines(self, tmp_path, gate, monkeypatch):
+        """Route default baseline lookup into tmp_path so multi-artifact
+        runs (which resolve baselines by bench name) stay hermetic."""
+        monkeypatch.setattr(
+            gate, "default_artifact_path",
+            lambda bench: tmp_path / f"BENCH_{bench}.json",
+        )
+        return tmp_path
+
+    def test_multiple_artifacts_report_all_regressions(
+        self, gate, local_baselines, capsys
+    ):
+        tmp = local_baselines
+        self._write_bench(tmp, "alpha", "BENCH_alpha.json",
+                          {"req_per_s": 100.0, "p99_ms": 1.0})
+        self._write_bench(tmp, "beta", "BENCH_beta.json",
+                          {"req_per_s": 100.0})
+        f1 = self._write_bench(tmp, "alpha", "fresh_alpha.json",
+                               {"req_per_s": 50.0, "p99_ms": 9.0})
+        f2 = self._write_bench(tmp, "beta", "fresh_beta.json",
+                               {"req_per_s": 10.0})
+        rc = gate.main([str(f1), str(f2)])
+        assert rc == 1
+        err = capsys.readouterr().err
+        # Every regressed metric of every family is reported, and the
+        # exit-1 summary names them all.
+        assert "regression: alpha: req_per_s" in err
+        assert "regression: alpha: p99_ms" in err
+        assert "regression: beta: req_per_s" in err
+        assert ("3 regressed metric(s): alpha:p99_ms, alpha:req_per_s, "
+                "beta:req_per_s" in err)
+
+    def test_regressions_outrank_params_mismatch(
+        self, gate, local_baselines, capsys
+    ):
+        tmp = local_baselines
+        self._write_bench(tmp, "alpha", "BENCH_alpha.json",
+                          {"req_per_s": 100.0})
+        self._write_bench(tmp, "beta", "BENCH_beta.json",
+                          {"req_per_s": 100.0}, params={"s": 1})
+        f1 = self._write_bench(tmp, "alpha", "fresh_alpha.json",
+                               {"req_per_s": 50.0})
+        f2 = self._write_bench(tmp, "beta", "fresh_beta.json",
+                               {"req_per_s": 100.0}, params={"s": 2})
+        assert gate.main([str(f1), str(f2)]) == 1
+        err = capsys.readouterr().err
+        assert "regression: alpha: req_per_s" in err
+        assert "not comparable" in err  # still reported, just outranked
+
+    def test_params_mismatch_alone_still_exits_3(
+        self, gate, local_baselines
+    ):
+        tmp = local_baselines
+        self._write_bench(tmp, "beta", "BENCH_beta.json",
+                          {"req_per_s": 100.0}, params={"s": 1})
+        ok = self._write_bench(tmp, "alpha", "BENCH_alpha.json",
+                               {"req_per_s": 100.0})
+        f1 = self._write_bench(tmp, "alpha", "fresh_alpha.json",
+                               {"req_per_s": 100.0})
+        f2 = self._write_bench(tmp, "beta", "fresh_beta.json",
+                               {"req_per_s": 100.0}, params={"s": 2})
+        assert ok is not None
+        assert gate.main([str(f1), str(f2)]) == 3
+
+    def test_baseline_flag_rejected_with_multiple_fresh(
+        self, tmp_path, gate, capsys
+    ):
+        base = self._write(tmp_path, "base.json", {"req_per_s": 100.0})
+        f1 = self._write(tmp_path, "f1.json", {"req_per_s": 100.0})
+        f2 = self._write(tmp_path, "f2.json", {"req_per_s": 100.0})
+        rc = gate.main(
+            [str(f1), str(f2), "--baseline", str(base)]
+        )
+        assert rc == 2
+        assert "--baseline" in capsys.readouterr().err
+
     def test_committed_fleet_artifact_gates_itself(self, gate):
         """The committed BENCH_serving_fleet.json must pass its own gate —
         the invariant the CI serving-fleet job relies on."""
